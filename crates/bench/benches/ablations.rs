@@ -1,0 +1,129 @@
+//! Ablations of the design choices called out in DESIGN.md §9: FAQ depth,
+//! L0 BTB size, the COND-ELF saturation filter, and FAQ-driven instruction
+//! prefetch.
+
+use elf_bench::{banner, params, r1, r3, write_csv};
+use elf_core::experiment::run_config;
+use elf_core::SimConfig;
+use elf_frontend::{CoupledCondKind, ElfVariant, FetchArch};
+use elf_trace::workloads;
+
+fn main() {
+    let p = params(150_000, 200_000);
+    banner("Ablations — FAQ depth, L0 BTB size, saturation filter, I-prefetch", p);
+    let mut rows = Vec::new();
+
+    // 1. FAQ depth on the prefetch-hungry server workload (DCF).
+    let w = workloads::by_name("server1_subtest1").expect("registered");
+    println!("FAQ depth sweep (DCF, server1_subtest1; Table II baseline = 32):");
+    for faq in [4usize, 8, 16, 32, 64] {
+        let mut cfg = SimConfig::baseline(FetchArch::Dcf);
+        cfg.frontend.faq_entries = faq;
+        let r = run_config(&w, cfg, p.warmup, p.window);
+        println!(
+            "  FAQ {faq:>3}: IPC {:.3}  prefetches {:>6}  FAQ occupancy {:>5.1}",
+            r.ipc(),
+            r.stats.frontend.faq_prefetches,
+            r.stats.faq_occupancy
+        );
+        rows.push(format!("faq,{faq},{:.4}", r.ipc()));
+    }
+
+    // 2. L0 BTB size: governs how often a taken branch costs zero bubbles.
+    let w = workloads::by_name("641.leela").expect("registered");
+    println!();
+    println!("L0 BTB entries sweep (DCF, 641.leela; Table II baseline = 24):");
+    for l0 in [6usize, 12, 24, 48, 96] {
+        let mut cfg = SimConfig::baseline(FetchArch::Dcf);
+        cfg.frontend.btb.l0_entries = l0;
+        let r = run_config(&w, cfg, p.warmup, p.window);
+        println!(
+            "  L0 {l0:>3}: IPC {:.3}  BP bubbles/KI {}",
+            r.ipc(),
+            r1(r.stats.frontend.bp_bubbles as f64 * 1000.0 / r.stats.retired as f64)
+        );
+        rows.push(format!("l0btb,{l0},{:.4}", r.ipc()));
+    }
+
+    // 3. COND-ELF saturation filter (§VI-B risk knob).
+    println!();
+    println!("COND-ELF saturation filter (641.leela and 620.omnetpp):");
+    for name in ["641.leela", "620.omnetpp"] {
+        let w = workloads::by_name(name).expect("registered");
+        let base = run_config(&w, SimConfig::baseline(FetchArch::Dcf), p.warmup, p.window);
+        for (label, sat) in [("filter ON ", true), ("filter OFF", false)] {
+            let mut cfg = SimConfig::baseline(FetchArch::Elf(ElfVariant::Cond));
+            cfg.frontend.cond_requires_saturation = sat;
+            let r = run_config(&w, cfg, p.warmup, p.window);
+            println!(
+                "  {name:>14} {label}: rel IPC {}  MPKI {}  coupled preds {}",
+                r3(r.ipc() / base.ipc()),
+                r1(r.stats.branch_mpki()),
+                r.stats.frontend.cpl_bimodal_preds
+            );
+            rows.push(format!("satfilter,{name}-{sat},{:.4}", r.ipc() / base.ipc()));
+        }
+    }
+
+    // 4. FAQ-driven instruction prefetch on/off (the §VI-A server-1 claim).
+    println!();
+    println!("FAQ-driven I-prefetch (DCF, server1_subtest1):");
+    let w = workloads::by_name("server1_subtest1").expect("registered");
+    for (label, pf) in [("prefetch ON ", true), ("prefetch OFF", false)] {
+        let mut cfg = SimConfig::baseline(FetchArch::Dcf);
+        cfg.frontend.ifetch_prefetch = pf;
+        let r = run_config(&w, cfg, p.warmup, p.window);
+        println!(
+            "  {label}: IPC {:.3}  L0I misses/KI {}  L1I misses/KI {}",
+            r.ipc(),
+            r1(r.stats.mem.l0i_misses as f64 * 1000.0 / r.stats.retired as f64),
+            r1(r.stats.mem.l1i_misses as f64 * 1000.0 / r.stats.retired as f64)
+        );
+        rows.push(format!("iprefetch,{pf},{:.4}", r.ipc()));
+    }
+
+    // 5. Coupled conditional predictor: bimodal (paper) vs gshare (the
+    // "better coupled predictor" the paper leaves as future work, §VII).
+    println!();
+    println!("Coupled conditional predictor (COND-ELF):");
+    for name in ["641.leela", "620.omnetpp"] {
+        let w = workloads::by_name(name).expect("registered");
+        let base = run_config(&w, SimConfig::baseline(FetchArch::Dcf), p.warmup, p.window);
+        for (label, kind) in [
+            ("bimodal (paper)", CoupledCondKind::Bimodal),
+            ("gshare  (ext.) ", CoupledCondKind::Gshare { hist_bits: 10 }),
+        ] {
+            let mut cfg = SimConfig::baseline(FetchArch::Elf(ElfVariant::Cond));
+            cfg.frontend.cpl_cond_kind = kind;
+            let r = run_config(&w, cfg, p.warmup, p.window);
+            println!(
+                "  {name:>14} {label}: rel IPC {}  MPKI {}",
+                r3(r.ipc() / base.ipc()),
+                r1(r.stats.branch_mpki())
+            );
+            rows.push(format!("cplcond,{name}-{label},{:.4}", r.ipc() / base.ipc()));
+        }
+    }
+
+    // 6. Boomerang-lite BTB-miss probe (§VI-C: "Fully hiding the BTB miss
+    // penalty could be achieved through a mechanism such as Boomerang").
+    println!();
+    println!("BTB-miss L0I pre-decode probe (DCF, Boomerang-lite extension):");
+    for name in ["server1_subtest1", "641.leela"] {
+        let w = workloads::by_name(name).expect("registered");
+        for (label, probe) in [("probe OFF (paper)", false), ("probe ON  (ext.) ", true)] {
+            let mut cfg = SimConfig::baseline(FetchArch::Dcf);
+            cfg.frontend.btb_miss_probe = probe;
+            let r = run_config(&w, cfg, p.warmup, p.window);
+            println!(
+                "  {name:>16} {label}: IPC {:.3}  proxy blocks/KI {}  recovered/KI {}",
+                r.ipc(),
+                r1(r.stats.frontend.btb_miss_blocks as f64 * 1000.0 / r.stats.retired as f64),
+                r1(r.stats.frontend.boomerang_blocks as f64 * 1000.0 / r.stats.retired as f64),
+            );
+            rows.push(format!("boomerang,{name}-{probe},{:.4}", r.ipc()));
+        }
+    }
+
+    write_csv("ablations.csv", "sweep,point,value", &rows);
+}

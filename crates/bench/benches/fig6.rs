@@ -1,0 +1,70 @@
+//! Figure 6: performance of NoDCF relative to the baseline DCF, with branch
+//! MPKI, for the ELF-relevant workloads — plus the §VI-A server-1 analysis
+//! (BTB hit rates, prefetch effect).
+
+use elf_bench::{ascii_bars, banner, measure, params, r1, r3, write_csv};
+use elf_frontend::FetchArch;
+use elf_trace::workloads::ELF_FOCUS_SET;
+
+fn main() {
+    let p = params(200_000, 300_000);
+    banner("Figure 6 — NoDCF IPC relative to DCF (slowdown axis) + branch MPKI", p);
+
+    println!(
+        "{:>18} {:>10} {:>12} {:>12} {:>10}",
+        "workload", "DCF IPC", "NoDCF IPC", "NoDCF/DCF", "MPKI"
+    );
+    let mut rows = Vec::new();
+    let mut bars = Vec::new();
+    let mut srv1_note = String::new();
+    for name in ELF_FOCUS_SET {
+        let dcf = measure(name, FetchArch::Dcf, p);
+        let nod = measure(name, FetchArch::NoDcf, p);
+        let rel = nod.ipc() / dcf.ipc();
+        println!(
+            "{:>18} {:>10.3} {:>12.3} {:>12} {:>10}",
+            name,
+            dcf.ipc(),
+            nod.ipc(),
+            r3(rel),
+            r1(dcf.stats.branch_mpki())
+        );
+        rows.push(format!(
+            "{name},{:.4},{:.4},{:.4},{:.2}",
+            dcf.ipc(),
+            nod.ipc(),
+            rel,
+            dcf.stats.branch_mpki()
+        ));
+        bars.push(((*name).to_owned(), rel));
+        if *name == "server1_subtest1" {
+            srv1_note = format!(
+                "server1_subtest1 BTB hit rates (cumulative L0/L1/L2): \
+                 {:.1}% / {:.1}% / {:.1}%  (paper: 28.3 / 48.5 / 70.6)\n\
+                 server1_subtest1 DCF instruction prefetches issued: {} \
+                 (NoDCF has none — the §VI-A prefetch effect)",
+                dcf.stats.btb.hit_rate_through(0) * 100.0,
+                dcf.stats.btb.hit_rate_through(1) * 100.0,
+                dcf.stats.btb.hit_rate_through(2) * 100.0,
+                dcf.stats.frontend.faq_prefetches,
+            );
+        }
+    }
+    println!();
+    println!("NoDCF/DCF (centered at 1.0, full bar = ±10%):");
+    print!("{}", ascii_bars(&bars, 0.10));
+    println!();
+    println!("{srv1_note}");
+    println!();
+    println!(
+        "Reading: values > 1 are workloads where the pipeline performs better \
+         WITHOUT the decoupled fetcher (its deeper flush penalty outweighs its \
+         benefits); large-instruction-footprint server workloads sit well \
+         below 1 thanks to FAQ-driven prefetch."
+    );
+    write_csv(
+        "fig6.csv",
+        "workload,dcf_ipc,nodcf_ipc,nodcf_over_dcf,branch_mpki",
+        &rows,
+    );
+}

@@ -1,0 +1,159 @@
+//! Shared harness for the figure/table regeneration benches.
+//!
+//! Every bench target (`fig6`, `fig7`, `fig8`, `fig9`, `table2`,
+//! `ablations`) is a `harness = false` binary that re-runs the paper
+//! experiment and prints the same rows/series the paper reports, plus a CSV
+//! copy under `target/elf-results/`. Simulation window sizes are
+//! overridable through `ELF_BENCH_WINDOW` / `ELF_BENCH_WARMUP` (instruction
+//! counts), so CI can run quick smoke passes while full runs regenerate the
+//! EXPERIMENTS.md numbers.
+
+#![warn(missing_docs)]
+
+use elf_core::experiment::{run_one, RunResult};
+use elf_frontend::FetchArch;
+use elf_trace::workloads;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Instruction-count parameters for one experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchParams {
+    /// Warm-up instructions (predictors/caches/BTB fill; stats reset after).
+    pub warmup: u64,
+    /// Measured instructions.
+    pub window: u64,
+}
+
+/// Reads parameters from the environment with experiment-specific defaults.
+#[must_use]
+pub fn params(default_warmup: u64, default_window: u64) -> BenchParams {
+    let get = |k: &str, d: u64| {
+        std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+    };
+    BenchParams {
+        warmup: get("ELF_BENCH_WARMUP", default_warmup),
+        window: get("ELF_BENCH_WINDOW", default_window),
+    }
+}
+
+/// Runs one benchmark under one architecture with the given parameters.
+///
+/// # Panics
+///
+/// Panics if `name` is not in the Table I registry.
+#[must_use]
+pub fn measure(name: &str, arch: FetchArch, p: BenchParams) -> RunResult {
+    let w = workloads::by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+    run_one(&w, arch, p.warmup, p.window)
+}
+
+/// Where CSV copies of the regenerated figures land.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(
+        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_owned()),
+    )
+    .join("elf-results");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Writes a CSV file into [`results_dir`]; ignores IO errors (the printed
+/// table is the primary artifact).
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let path = results_dir().join(name);
+    if let Ok(mut f) = fs::File::create(&path) {
+        let _ = writeln!(f, "{header}");
+        for r in rows {
+            let _ = writeln!(f, "{r}");
+        }
+        eprintln!("(csv written to {})", path.display());
+    }
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(title: &str, p: BenchParams) {
+    println!();
+    println!("=== {title} ===");
+    println!(
+        "(warmup {} insts, window {} insts per run; override with \
+         ELF_BENCH_WARMUP / ELF_BENCH_WINDOW)",
+        p.warmup, p.window
+    );
+    println!();
+}
+
+/// Renders a horizontal ASCII bar chart of relative-IPC values centered at
+/// 1.0 (the figures' visual form). `span` is the half-width in relative-IPC
+/// units that maps to the full bar width.
+#[must_use]
+pub fn ascii_bars(rows: &[(String, f64)], span: f64) -> String {
+    const WIDTH: i64 = 24;
+    let mut out = String::new();
+    for (label, v) in rows {
+        let dev = ((v - 1.0) / span * WIDTH as f64).round() as i64;
+        let dev = dev.clamp(-WIDTH, WIDTH);
+        let mut bar = vec![' '; (2 * WIDTH + 1) as usize];
+        bar[WIDTH as usize] = '|';
+        if dev >= 0 {
+            for i in 0..dev {
+                bar[(WIDTH + 1 + i) as usize] = '#';
+            }
+        } else {
+            for i in 0..(-dev) {
+                bar[(WIDTH - 1 - i) as usize] = '#';
+            }
+        }
+        out.push_str(&format!(
+            "{label:>18} {} {v:.3}\n",
+            bar.into_iter().collect::<String>()
+        ));
+    }
+    out
+}
+
+/// Formats a ratio as the figures do (e.g. `1.037`).
+#[must_use]
+pub fn r3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats an MPKI value.
+#[must_use]
+pub fn r1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_defaults_apply() {
+        let p = params(1000, 2000);
+        assert!(p.warmup >= 1 && p.window >= 1);
+    }
+
+    #[test]
+    fn ascii_bars_center_and_direction() {
+        let rows = vec![("up".to_owned(), 1.05), ("down".to_owned(), 0.95), ("flat".to_owned(), 1.0)];
+        let chart = ascii_bars(&rows, 0.10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let bar = |l: &str| l.rsplit_once(' ').map(|x| x.0).unwrap_or("").to_owned();
+        let up = bar(lines[0]);
+        let down = bar(lines[1]);
+        // The '#' run sits right of the axis for >1 and left for <1.
+        assert!(up.find('#').unwrap() > up.find('|').unwrap());
+        assert!(down.find('#').unwrap() < down.find('|').unwrap());
+        assert!(!bar(lines[2]).contains('#'));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(r3(1.03666), "1.037");
+        assert_eq!(r1(12.34), "12.3");
+    }
+}

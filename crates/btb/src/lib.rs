@@ -1,0 +1,26 @@
+//! Multi-level Branch Target Buffer for the decoupled fetcher.
+//!
+//! Implements the BTB organization of paper §III-A and Table II:
+//!
+//! * [`entry::BtbEntry`] — one entry tracks up to 16 sequential instructions
+//!   and up to 2 "observed taken before" branches (with targets for direct
+//!   branches), as in AMD Zen;
+//! * [`builder::BtbBuilder`] — non-speculative entry establishment as
+//!   instructions retire, including the termination rules (unconditional
+//!   branch / third taken conditional / 16 instructions) and entry
+//!   splitting when a never-taken conditional turns taken;
+//! * [`hierarchy::BtbHierarchy`] — the 3-level structure (L0 24-entry fully
+//!   associative 0-cycle, L1 256-entry 4-way 1-cycle, L2 4K-entry 8-way
+//!   3-cycle) with promotion on hit and merge on install.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod entry;
+pub mod hierarchy;
+pub mod level;
+
+pub use builder::BtbBuilder;
+pub use entry::{BtbBranch, BtbEntry};
+pub use hierarchy::{BtbConfig, BtbHierarchy, BtbLookup, BtbStats};
+pub use level::BtbLevel;

@@ -1,0 +1,146 @@
+//! Simulator configuration (Table II).
+
+use elf_frontend::{FetchArch, FrontendConfig};
+use elf_mem::MemConfig;
+
+/// Out-of-order back-end parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendConfig {
+    /// Reorder buffer entries (Table II: 256).
+    pub rob_entries: usize,
+    /// Issue queue entries (128).
+    pub iq_entries: usize,
+    /// Load/store queue entries (128).
+    pub lsq_entries: usize,
+    /// Physical register file entries (256).
+    pub prf_entries: usize,
+    /// Fetch-through-rename width (8).
+    pub rename_width: usize,
+    /// Decode/rename queue capacity: the front-end stalls when this many
+    /// decoded instructions are waiting to dispatch (fetch backpressure).
+    pub dispatch_q_entries: usize,
+    /// Issue-through-commit width (9).
+    pub issue_width: usize,
+    /// Commit width (9).
+    pub commit_width: usize,
+    /// Simple-ALU-capable ports (4, of which `muldiv_ports` do mul/div).
+    pub alu_ports: usize,
+    /// Mul/div-capable ALU ports (2).
+    pub muldiv_ports: usize,
+    /// Load/store AGU ports (2).
+    pub ldst_ports: usize,
+    /// SIMD ports (2).
+    pub simd_ports: usize,
+    /// Decode-to-dispatch depth in cycles (rename stages).
+    pub rename_latency: u32,
+    /// Execute-to-frontend-redirect latency in cycles.
+    pub redirect_latency: u32,
+    /// Integer multiply latency.
+    pub mul_latency: u32,
+    /// Integer divide latency.
+    pub div_latency: u32,
+    /// SIMD/FP latency.
+    pub simd_latency: u32,
+    /// Cycles a wrong-path ROB-head watchdog waits before forcing a resync
+    /// flush. This models the paper's post-switch misfetch check (Fig. 5
+    /// cycle 2: counts fail to line up -> resteer), so it is short.
+    pub watchdog_cycles: u32,
+}
+
+impl BackendConfig {
+    /// The Table II configuration. With the 5 front-end stages (BP1, BP2,
+    /// FAQ, FE, DEC) this yields the paper's 11-cycle minimum BP1→EXE
+    /// branch-resolution loop.
+    #[must_use]
+    pub fn paper() -> Self {
+        BackendConfig {
+            rob_entries: 256,
+            iq_entries: 128,
+            lsq_entries: 128,
+            prf_entries: 256,
+            rename_width: 8,
+            dispatch_q_entries: 16,
+            issue_width: 9,
+            commit_width: 9,
+            alu_ports: 4,
+            muldiv_ports: 2,
+            ldst_ports: 2,
+            simd_ports: 2,
+            rename_latency: 2,
+            redirect_latency: 2,
+            mul_latency: 3,
+            div_latency: 12,
+            simd_latency: 2,
+            watchdog_cycles: 8,
+        }
+    }
+}
+
+impl Default for BackendConfig {
+    fn default() -> Self {
+        BackendConfig::paper()
+    }
+}
+
+/// Complete simulator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Fetch architecture under study.
+    pub arch: FetchArch,
+    /// Front-end parameters.
+    pub frontend: FrontendConfig,
+    /// Memory hierarchy parameters.
+    pub mem: MemConfig,
+    /// Back-end parameters.
+    pub backend: BackendConfig,
+}
+
+impl SimConfig {
+    /// The Table II baseline with the given fetch architecture.
+    #[must_use]
+    pub fn baseline(arch: FetchArch) -> Self {
+        SimConfig {
+            arch,
+            frontend: FrontendConfig::paper(),
+            mem: MemConfig::paper(),
+            backend: BackendConfig::paper(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_backend_matches_table2() {
+        let b = BackendConfig::paper();
+        assert_eq!(b.rob_entries, 256);
+        assert_eq!(b.iq_entries, 128);
+        assert_eq!(b.lsq_entries, 128);
+        assert_eq!(b.prf_entries, 256);
+        assert_eq!(b.rename_width, 8);
+        assert_eq!(b.issue_width, 9);
+        assert_eq!(b.alu_ports, 4);
+        assert_eq!(b.muldiv_ports, 2);
+        assert_eq!(b.ldst_ports, 2);
+        assert_eq!(b.simd_ports, 2);
+    }
+
+    #[test]
+    fn bp1_to_exe_is_about_11_cycles() {
+        // 5 front-end stages + rename + issue + execute + redirect ≈ 11.
+        let b = BackendConfig::paper();
+        let fe_stages = 5;
+        let depth = fe_stages + b.rename_latency + 1 + 1 + b.redirect_latency;
+        assert!((10..=12).contains(&depth), "BP1→EXE loop = {depth}");
+    }
+
+    #[test]
+    fn baseline_config_composes() {
+        let c = SimConfig::baseline(FetchArch::Dcf);
+        assert_eq!(c.arch, FetchArch::Dcf);
+        assert_eq!(c.frontend.fetch_width, 8);
+        assert_eq!(c.mem.dram_latency, 250);
+    }
+}

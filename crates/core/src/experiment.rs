@@ -1,0 +1,187 @@
+//! Experiment harness: run grids of (workload × architecture), compute
+//! speedups and geomeans, and format figure/table output.
+
+use crate::config::SimConfig;
+use crate::sim::Simulator;
+use crate::stats::SimStats;
+use elf_frontend::FetchArch;
+use elf_trace::workloads::Workload;
+
+/// Result of one (workload, architecture) measurement.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: String,
+    /// Architecture label ("DCF", "U-ELF", ...).
+    pub arch: String,
+    /// Collected statistics.
+    pub stats: SimStats,
+}
+
+impl RunResult {
+    /// IPC of this run.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+}
+
+/// Runs one workload under one architecture: `warmup` instructions of
+/// warm-up, then `window` measured instructions.
+#[must_use]
+pub fn run_one(w: &Workload, arch: FetchArch, warmup: u64, window: u64) -> RunResult {
+    let mut sim = Simulator::for_workload(SimConfig::baseline(arch), w);
+    sim.warm_up(warmup);
+    let stats = sim.run(window);
+    RunResult { workload: w.name.to_owned(), arch: arch.label().to_owned(), stats }
+}
+
+/// Runs one workload under one explicit configuration.
+#[must_use]
+pub fn run_config(w: &Workload, cfg: SimConfig, warmup: u64, window: u64) -> RunResult {
+    let arch = cfg.arch;
+    let mut sim = Simulator::for_workload(cfg, w);
+    sim.warm_up(warmup);
+    let stats = sim.run(window);
+    RunResult { workload: w.name.to_owned(), arch: arch.label().to_owned(), stats }
+}
+
+/// IPC estimated from SimPoint-selected intervals: the simulator runs all
+/// `n_intervals × interval_len` instructions once (cycle-accurate), IPC is
+/// recorded per interval, and the selected intervals' IPCs are combined by
+/// cluster weight — the §V-A methodology in miniature. Returns
+/// `(weighted_ipc, full_ipc)` so callers can check the approximation.
+#[must_use]
+pub fn simpoint_ipc(
+    w: &Workload,
+    arch: FetchArch,
+    warmup: u64,
+    interval_len: u64,
+    n_intervals: usize,
+    k: usize,
+) -> (f64, f64) {
+    use elf_trace::{simpoint, synthesize, Oracle};
+    use std::sync::Arc;
+
+    let prog = Arc::new(synthesize(&w.spec));
+    let mut oracle = Oracle::new(Arc::clone(&prog), w.spec.seed);
+    let points = simpoint::select_from(&mut oracle, warmup, interval_len, n_intervals, k);
+
+    let mut sim = Simulator::from_program(SimConfig::baseline(arch), prog, w.spec.seed);
+    sim.warm_up(warmup);
+    let mut interval_ipc = Vec::with_capacity(n_intervals);
+    let mut total_insts = 0u64;
+    let mut total_cycles = 0u64;
+    for _ in 0..n_intervals {
+        let c0 = sim.cycle();
+        sim.run(interval_len);
+        let dc = sim.cycle() - c0;
+        interval_ipc.push(interval_len as f64 / dc.max(1) as f64);
+        total_insts += interval_len;
+        total_cycles += dc;
+    }
+    let weighted: f64 = points
+        .iter()
+        .map(|p| p.weight * interval_ipc[((p.start - warmup) / interval_len) as usize])
+        .sum();
+    (weighted, total_insts as f64 / total_cycles.max(1) as f64)
+}
+
+/// Geometric mean of a slice of positive values (1.0 for an empty slice).
+#[must_use]
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = xs.iter().map(|&x| x.max(1e-12).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Relative IPC (speedup) of `test` over `baseline`.
+#[must_use]
+pub fn speedup(test: &RunResult, baseline: &RunResult) -> f64 {
+    test.ipc() / baseline.ipc().max(1e-12)
+}
+
+/// Formats a fixed-width table row.
+#[must_use]
+pub fn fmt_row(cells: &[String], widths: &[usize]) -> String {
+    let mut s = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        s.push_str(&format!("{c:>w$} ", w = w));
+    }
+    s.trim_end().to_owned()
+}
+
+/// Renders a simple aligned table (header + rows) for bench output.
+#[must_use]
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&fmt_row(
+        &header.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    out.push('\n');
+    out.push_str(&fmt_row(
+        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+        &widths,
+    ));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&fmt_row(r, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elf_frontend::FetchArch;
+    use elf_trace::workloads;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[]) - 1.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_ipc_ratio() {
+        let w = workloads::by_name("619.lbm").unwrap();
+        let base = run_one(&w, FetchArch::Dcf, 5_000, 10_000);
+        assert!((speedup(&base, &base) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpoint_ipc_approximates_the_full_run() {
+        let w = workloads::by_name("641.leela").unwrap();
+        let (weighted, full) = simpoint_ipc(&w, FetchArch::Dcf, 60_000, 10_000, 10, 4);
+        assert!(weighted > 0.0 && full > 0.0);
+        let err = (weighted - full).abs() / full;
+        assert!(err < 0.25, "simpoint estimate off by {:.0}%", err * 100.0);
+    }
+
+    #[test]
+    fn render_table_aligns() {
+        let t = render_table(
+            &["name", "ipc"],
+            &[
+                vec!["a".into(), "1.00".into()],
+                vec!["longer".into(), "2.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].contains("longer"));
+    }
+}

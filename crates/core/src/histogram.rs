@@ -1,0 +1,124 @@
+//! Small fixed-bucket histograms for pipeline observability (ROB occupancy,
+//! delivery rate, ...).
+
+/// A histogram over `0..=max` with unit-width buckets; samples above `max`
+/// land in the last bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    total: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `0..=max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is 0.
+    #[must_use]
+    pub fn new(max: usize) -> Self {
+        assert!(max > 0);
+        Histogram { buckets: vec![0; max + 1], total: 0, sum: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: usize) {
+        let i = value.min(self.buckets.len() - 1);
+        self.buckets[i] += 1;
+        self.total += 1;
+        self.sum += value as u64;
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Arithmetic mean of the samples (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest value `v` such that at least `q` (0..=1) of the samples are
+    /// `<= v` (0 when empty).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> usize {
+        if self.total == 0 {
+            return 0;
+        }
+        let need = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut acc = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            acc += b;
+            if acc >= need {
+                return i;
+            }
+        }
+        self.buckets.len() - 1
+    }
+
+    /// Fraction of samples in bucket `i` (clamped bucket included).
+    #[must_use]
+    pub fn fraction_at(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.buckets.get(i).map_or(0.0, |&b| b as f64 / self.total as f64)
+    }
+
+    /// Clears all samples.
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.total = 0;
+        self.sum = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_count() {
+        let mut h = Histogram::new(10);
+        for v in [2, 4, 6] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_clamps_to_last_bucket() {
+        let mut h = Histogram::new(4);
+        h.record(100);
+        assert!((h.fraction_at(4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = Histogram::new(10);
+        for v in 1..=10 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(1.0), 10);
+        assert_eq!(h.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut h = Histogram::new(4);
+        h.record(2);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

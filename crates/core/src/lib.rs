@@ -1,0 +1,33 @@
+//! Cycle-level simulator core: out-of-order back-end, configuration,
+//! statistics and experiment harness for the ELF reproduction.
+//!
+//! The [`sim::Simulator`] glues together the workload substrate
+//! (`elf-trace`), the front-end under study (`elf-frontend`) and the
+//! out-of-order back-end modeled here ([`backend`]), with the Table II
+//! parameters in [`config::SimConfig`].
+//!
+//! ```
+//! use elf_core::{SimConfig, Simulator};
+//! use elf_frontend::FetchArch;
+//! use elf_trace::workloads;
+//!
+//! let w = workloads::by_name("641.leela").unwrap();
+//! let mut sim = Simulator::for_workload(SimConfig::baseline(FetchArch::Dcf), &w);
+//! let stats = sim.run(20_000);
+//! assert!(stats.ipc() > 0.1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod config;
+pub mod experiment;
+pub mod histogram;
+pub mod memdep;
+pub mod sim;
+pub mod stats;
+
+pub use config::{BackendConfig, SimConfig};
+pub use experiment::{geomean, RunResult};
+pub use sim::Simulator;
+pub use stats::SimStats;

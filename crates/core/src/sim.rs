@@ -1,0 +1,550 @@
+//! The top-level cycle-level simulator.
+//!
+//! Each cycle: tick the front-end, bind its delivered instructions against
+//! the oracle (path tracking), feed the back-end, apply back-end flushes to
+//! the front-end, and route retirements back for BTB establishment and
+//! predictor training.
+
+use crate::backend::{Backend, BoundInst, FlushCause, RetiredInst};
+use crate::config::SimConfig;
+use crate::histogram::Histogram;
+use crate::stats::SimStats;
+use elf_frontend::{FlushCtx, Frontend, RetireInfo};
+use elf_mem::MemorySystem;
+use elf_trace::program::DATA_BASE;
+use elf_trace::workloads::Workload;
+use elf_trace::{synthesize, Oracle, Program, ProgramSpec};
+use elf_types::{Cycle, InstClass, Prediction, SeqNum};
+use std::sync::Arc;
+
+/// The simulator: one core, one workload.
+#[derive(Debug)]
+pub struct Simulator {
+    prog: Arc<Program>,
+    oracle: Oracle,
+    fe: Frontend,
+    be: Backend,
+    mem: MemorySystem,
+    cycle: Cycle,
+    /// Oracle cursor: next correct-path sequence number to bind.
+    cursor: SeqNum,
+    wrong_path: bool,
+    retired_seq: SeqNum,
+    /// Cycle of the last correct-path delivery (no-progress safety net).
+    last_progress: Cycle,
+    /// Recent deliveries ring (diagnostics, populated when `trace_gaps`).
+    recent: std::collections::VecDeque<(u64, u64, bool)>,
+    trace_gaps: bool,
+    trace_watchdogs: bool,
+    // Statistic counters (reset after warm-up).
+    retired: u64,
+    cond_branches: u64,
+    cond_mispredicts: u64,
+    branches: u64,
+    taken_branches: u64,
+    returns: u64,
+    indirect_mispredicts: u64,
+    stat_cycle_base: Cycle,
+    /// ROB occupancy sampled each cycle.
+    rob_occupancy: Histogram,
+    /// Correct-path instructions delivered per cycle.
+    delivery_rate: Histogram,
+}
+
+impl Simulator {
+    /// Builds a simulator from an already-synthesized program.
+    #[must_use]
+    pub fn from_program(cfg: SimConfig, prog: Arc<Program>, seed: u64) -> Self {
+        let start = prog.entry();
+        Simulator {
+            oracle: Oracle::new(Arc::clone(&prog), seed),
+            fe: Frontend::new(cfg.frontend.clone(), cfg.arch, start),
+            be: Backend::new(cfg.backend.clone()),
+            mem: MemorySystem::new(cfg.mem.clone()),
+            prog,
+            cycle: 0,
+            cursor: 0,
+            wrong_path: false,
+            retired_seq: 0,
+            last_progress: 0,
+            recent: std::collections::VecDeque::new(),
+            trace_gaps: std::env::var("ELF_TRACE_GAP").is_ok(),
+            trace_watchdogs: std::env::var("ELF_TRACE_WD").is_ok(),
+            rob_occupancy: Histogram::new(cfg.backend.rob_entries),
+            delivery_rate: Histogram::new(cfg.frontend.fetch_width * 2),
+            retired: 0,
+            cond_branches: 0,
+            cond_mispredicts: 0,
+            branches: 0,
+            taken_branches: 0,
+            returns: 0,
+            indirect_mispredicts: 0,
+            stat_cycle_base: 0,
+        }
+    }
+
+    /// Synthesizes the program described by `spec` and builds a simulator.
+    #[must_use]
+    pub fn new(cfg: SimConfig, spec: &ProgramSpec) -> Self {
+        Simulator::from_program(cfg, Arc::new(synthesize(spec)), spec.seed)
+    }
+
+    /// Builds a simulator for a registry workload.
+    #[must_use]
+    pub fn for_workload(cfg: SimConfig, w: &Workload) -> Self {
+        Simulator::new(cfg, &w.spec)
+    }
+
+    /// The simulated program.
+    #[must_use]
+    pub fn program(&self) -> &Arc<Program> {
+        &self.prog
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Runs until `n` more instructions retire; returns the statistics
+    /// accumulated since the last reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline stops making forward progress (a simulator
+    /// bug, not a model outcome).
+    pub fn run(&mut self, n: u64) -> SimStats {
+        let target = self.retired + n;
+        let cap = self.cycle + 200_000 + n * 400;
+        while self.retired < target {
+            assert!(
+                self.cycle < cap,
+                "simulator wedged: {} retired of {} at cycle {}\n fe: {}\n be: rob={} empty={} head: {}",
+                self.retired,
+                target,
+                self.cycle,
+                self.fe.debug_state(),
+                self.be.rob_len(),
+                self.be.is_empty(),
+                self.be.debug_head(),
+            );
+            self.tick();
+        }
+        self.stats()
+    }
+
+    /// Runs `n` instructions of warm-up and resets all statistics.
+    pub fn warm_up(&mut self, n: u64) {
+        self.run(n);
+        self.reset_stats();
+    }
+
+    /// ROB-occupancy histogram (sampled every cycle since the last reset).
+    #[must_use]
+    pub fn rob_occupancy(&self) -> &Histogram {
+        &self.rob_occupancy
+    }
+
+    /// Delivered-instructions-per-cycle histogram.
+    #[must_use]
+    pub fn delivery_rate(&self) -> &Histogram {
+        &self.delivery_rate
+    }
+
+    /// Resets all statistic counters (not architectural/predictor state).
+    pub fn reset_stats(&mut self) {
+        self.retired = 0;
+        self.cond_branches = 0;
+        self.cond_mispredicts = 0;
+        self.branches = 0;
+        self.taken_branches = 0;
+        self.returns = 0;
+        self.indirect_mispredicts = 0;
+        self.stat_cycle_base = self.cycle;
+        self.fe.reset_stats();
+        self.be.reset_stats();
+        self.mem.reset_stats();
+        self.rob_occupancy.reset();
+        self.delivery_rate.reset();
+    }
+
+    /// Statistics since the last reset.
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            cycles: self.cycle - self.stat_cycle_base,
+            retired: self.retired,
+            cond_branches: self.cond_branches,
+            cond_mispredicts: self.cond_mispredicts,
+            branches: self.branches,
+            taken_branches: self.taken_branches,
+            returns: self.returns,
+            indirect_mispredicts: self.indirect_mispredicts,
+            frontend: *self.fe.stats(),
+            btb: self.fe.btb_stats(),
+            mem: self.mem.stats(),
+            backend: self.be.stats(),
+            faq_occupancy: self.fe.faq_mean_occupancy(),
+            caches: self.mem.cache_stats(),
+            memdep: self.be.memdep_stats(),
+        }
+    }
+
+    fn tick(&mut self) {
+        let now = self.cycle;
+        // Fetch backpressure: the front-end stalls while the decode/rename
+        // queue is full (otherwise wrong-path run-ahead grows unboundedly
+        // and branch resolution falls arbitrarily far behind).
+        let out = if self.be.dispatch_room() {
+            self.fe.tick(&self.prog, &mut self.mem, now)
+        } else {
+            elf_frontend::TickOutput::default()
+        };
+
+        // Divergence squash (U-ELF, trust-DCF resolution): squash younger
+        // than the diverging branch and make the DCF's direction its
+        // effective prediction.
+        if let Some(sq) = out.squash {
+            if let Some(min_seq) = self.be.squash_after_returning_seq(sq.boundary_fid) {
+                self.cursor = self.cursor.min(min_seq);
+                debug_assert!(
+                    self.cursor > self.retired_seq || self.retired == 0,
+                    "divergence rewind below retired: cursor {} retired {}",
+                    self.cursor,
+                    self.retired_seq
+                );
+            }
+            if let Some(seq) = self.be.seq_of(sq.fid) {
+                let e = self.oracle.entry(seq);
+                let kind = self.prog.inst_or_nop(e.pc).branch_kind();
+                let misp = match kind {
+                    Some(k) if k.is_conditional() => {
+                        sq.taken != e.taken || (e.taken && sq.target != Some(e.next_pc))
+                    }
+                    Some(_) => sq.target != Some(e.next_pc),
+                    None => false,
+                };
+                let pred = Prediction {
+                    taken: sq.taken,
+                    target: sq.target,
+                    source: elf_types::PredSource::TageTagged,
+                };
+                self.be.repredict_branch(sq.fid, pred, misp, e.next_pc, seq + 1, now);
+                self.wrong_path = misp;
+            }
+            // (If the branch is no longer in flight the squash is stale;
+            // leave the path-tracker state alone — the watchdog cleans up
+            // the rare residue.)
+        }
+
+        // Path tracking: bind delivered instructions against the oracle.
+        let tracing = self.trace_gaps;
+        for d in &out.delivered {
+            let sinst = d.inst.sinst;
+            if tracing {
+                self.recent.push_back((
+                    d.fid,
+                    sinst.pc,
+                    d.inst.mode == elf_types::FetchMode::Coupled,
+                ));
+                if self.recent.len() > 6 {
+                    self.recent.pop_front();
+                }
+            }
+            let mut b = BoundInst {
+                fid: d.fid,
+                sinst,
+                seq: None,
+                mode: d.inst.mode,
+                pred: d.inst.pred,
+                taken: false,
+                next_pc: sinst.pc + 4,
+                mem_addr: None,
+                mispredicted: false,
+            };
+            if !self.wrong_path {
+                let e = self.oracle.entry(self.cursor);
+                if e.pc == sinst.pc {
+                    self.last_progress = now;
+                    b.seq = Some(self.cursor);
+                    b.taken = e.taken;
+                    b.next_pc = e.next_pc;
+                    b.mem_addr = e.mem_addr;
+                    self.cursor += 1;
+                    if let Some(k) = sinst.branch_kind() {
+                        let pred = d.inst.pred.unwrap_or_else(Prediction::not_taken);
+                        let misp = if k.is_conditional() {
+                            pred.taken != e.taken
+                                || (e.taken && pred.target != Some(e.next_pc))
+                        } else {
+                            pred.target != Some(e.next_pc)
+                        };
+                        b.mispredicted = misp;
+                        if misp {
+                            self.wrong_path = true;
+                        }
+                    }
+                } else {
+                    if tracing {
+                        eprintln!(
+                            "GAP c{} fid={} mode={:?} got={:#x} want={:#x} (seq {}) recent={:x?} | {}",
+                            now, d.fid, d.inst.mode, sinst.pc, e.pc, self.cursor,
+                            self.recent, self.fe.debug_state()
+                        );
+                    }
+                    self.wrong_path = true;
+                }
+            }
+            if b.seq.is_none() && sinst.class == InstClass::Load {
+                // Wrong-path loads still access the D-cache (pollution,
+                // §VI-B) with a synthetic but deterministic address.
+                let h = sinst
+                    .pc
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(d.fid.wrapping_mul(0xff51_afd7_ed55_8ccd));
+                b.mem_addr = Some((DATA_BASE + (h % (64 << 20))) & !7);
+            }
+            self.be.accept(b, now);
+        }
+
+        self.delivery_rate.record(out.delivered.len());
+        self.rob_occupancy.record(self.be.rob_len());
+
+        // Back-end cycle.
+        let (retired, flush) = self.be.tick(&mut self.mem, now);
+        for r in &retired {
+            self.retire(r);
+        }
+        if let Some(f) = flush {
+            self.fe.flush(
+                &FlushCtx {
+                    restart_pc: f.restart_pc,
+                    boundary_fid: f.boundary_fid,
+                    hist_replay: &f.hist_replay,
+                    ras_replay: &f.ras_replay,
+                },
+                now,
+            );
+            self.cursor = f.cursor_target;
+            debug_assert!(self.cursor > self.retired_seq || self.retired == 0, "flush {:?} rewind below retired: cursor {} retired {}", f.cause, self.cursor, self.retired_seq);
+            self.wrong_path = false;
+            debug_assert!(matches!(
+                f.cause,
+                FlushCause::Mispredict | FlushCause::RawHazard | FlushCause::Watchdog
+            ));
+            self.last_progress = now;
+        } else if !self.be.has_pending_flush()
+            && (self.be.watchdog_tripped(now)
+                || now.saturating_sub(self.last_progress) > 2000)
+        {
+            // Safety net: the delivered stream left the correct path without
+            // a resolving branch (divergence gap). Squash the whole pipeline
+            // and resync at the oldest unbound point.
+            if self.trace_watchdogs {
+                eprintln!(
+                    "WD c{} cursor={} wp={} | {} | {}",
+                    now, self.cursor, self.wrong_path, self.fe.debug_state(), self.be.debug_head()
+                );
+            }
+            let f = self.be.force_watchdog_flush(now);
+            self.cursor = self.cursor.min(f.cursor_target);
+            let pc = self.oracle.entry(self.cursor).pc;
+            self.fe.flush(
+                &FlushCtx {
+                    restart_pc: pc,
+                    boundary_fid: f.boundary_fid,
+                    hist_replay: &f.hist_replay,
+                    ras_replay: &f.ras_replay,
+                },
+                now,
+            );
+            self.wrong_path = false;
+            self.last_progress = now;
+        }
+
+        self.cycle += 1;
+    }
+
+    fn retire(&mut self, r: &RetiredInst) {
+        let b = &r.b;
+        let seq = b.seq.expect("only bound instructions retire");
+        self.retired += 1;
+        self.retired_seq = seq;
+        self.oracle.release_before(seq.saturating_sub(1));
+
+        let kind = b.sinst.branch_kind();
+        if let Some(k) = kind {
+            self.branches += 1;
+            if b.taken {
+                self.taken_branches += 1;
+            }
+            if k.is_conditional() {
+                self.cond_branches += 1;
+                if b.mispredicted {
+                    self.cond_mispredicts += 1;
+                }
+            } else if k.is_indirect() {
+                if k.is_return() {
+                    self.returns += 1;
+                }
+                if b.mispredicted {
+                    self.indirect_mispredicts += 1;
+                }
+            }
+        }
+        self.fe.retire(&RetireInfo {
+            fid: b.fid,
+            pc: b.sinst.pc,
+            kind,
+            taken: b.taken,
+            next_pc: b.next_pc,
+            static_target: b.sinst.target,
+            mode: b.mode,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elf_frontend::{ElfVariant, FetchArch};
+    use elf_trace::workloads;
+
+    fn mini_spec(seed: u64) -> ProgramSpec {
+        ProgramSpec {
+            name: "sim-mini".into(),
+            seed,
+            num_funcs: 24,
+            ..ProgramSpec::default()
+        }
+    }
+
+    #[test]
+    fn all_architectures_complete_and_have_sane_ipc() {
+        for arch in [
+            FetchArch::NoDcf,
+            FetchArch::Dcf,
+            FetchArch::Elf(ElfVariant::L),
+            FetchArch::Elf(ElfVariant::U),
+        ] {
+            let mut sim = Simulator::new(SimConfig::baseline(arch), &mini_spec(11));
+            let s = sim.run(30_000);
+            assert!(s.retired >= 30_000);
+            assert!(
+                s.ipc() > 0.2 && s.ipc() < 9.0,
+                "{arch:?} IPC {} out of range",
+                s.ipc()
+            );
+        }
+    }
+
+    #[test]
+    fn warmup_reset_gives_clean_windows() {
+        let mut sim =
+            Simulator::new(SimConfig::baseline(FetchArch::Dcf), &mini_spec(13));
+        sim.warm_up(20_000);
+        let s0 = sim.stats();
+        assert_eq!(s0.retired, 0);
+        assert_eq!(s0.cycles, 0);
+        let s = sim.run(10_000);
+        assert!(s.retired >= 10_000);
+        assert!(s.cycles > 0);
+    }
+
+    #[test]
+    fn branch_stats_are_populated() {
+        let mut sim =
+            Simulator::new(SimConfig::baseline(FetchArch::Dcf), &mini_spec(17));
+        let s = sim.run(40_000);
+        assert!(s.cond_branches > 1000, "cond branches: {}", s.cond_branches);
+        assert!(s.branches > s.cond_branches);
+        assert!(s.taken_branches > 0);
+        assert!(s.branch_mpki() > 0.0, "synthetic code always has some misses");
+        assert!(s.branch_mpki() < 80.0);
+    }
+
+    #[test]
+    fn deterministic_given_config_and_seed() {
+        let run = || {
+            let mut sim =
+                Simulator::new(SimConfig::baseline(FetchArch::Dcf), &mini_spec(19));
+            let s = sim.run(20_000);
+            (s.cycles, s.retired, s.cond_mispredicts)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn retired_count_is_architecture_independent() {
+        // Same workload, same seed: every fetch architecture retires the
+        // same dynamic stream (cycle counts differ).
+        let misp = |arch| {
+            let mut sim = Simulator::new(SimConfig::baseline(arch), &mini_spec(23));
+            let s = sim.run(25_000);
+            (s.retired, s.taken_branches)
+        };
+        let a = misp(FetchArch::NoDcf);
+        let b = misp(FetchArch::Dcf);
+        let c = misp(FetchArch::Elf(ElfVariant::U));
+        // Retire counts overshoot by < commit width; compare loosely.
+        assert!(a.0.abs_diff(b.0) <= 16);
+        assert!(a.0.abs_diff(c.0) <= 16);
+        assert!(a.1.abs_diff(b.1) * 100 <= a.1 * 2, "taken counts differ: {a:?} {b:?}");
+        assert!(a.1.abs_diff(c.1) * 100 <= a.1 * 2, "taken counts differ: {a:?} {c:?}");
+    }
+
+    #[test]
+    fn elf_spends_most_cycles_decoupled() {
+        let mut sim = Simulator::new(
+            SimConfig::baseline(FetchArch::Elf(ElfVariant::U)),
+            &mini_spec(29),
+        );
+        sim.warm_up(20_000);
+        let s = sim.run(30_000);
+        assert!(
+            s.frontend.coupled_cycle_fraction() < 0.6,
+            "coupled fraction {}",
+            s.frontend.coupled_cycle_fraction()
+        );
+        assert!(s.frontend.coupled_periods > 0);
+    }
+
+    #[test]
+    fn occupancy_histograms_are_populated() {
+        let mut sim =
+            Simulator::new(SimConfig::baseline(FetchArch::Dcf), &mini_spec(37));
+        sim.warm_up(10_000);
+        let _ = sim.run(10_000);
+        let rob = sim.rob_occupancy();
+        assert!(rob.count() > 1_000, "one sample per cycle");
+        assert!(rob.mean() > 1.0, "the ROB is never persistently empty");
+        let del = sim.delivery_rate();
+        assert!(del.count() == rob.count());
+        assert!(del.mean() > 0.5, "deliveries happen most cycles");
+        assert!(del.quantile(1.0) <= 16, "delivery bounded by 2x fetch width");
+    }
+
+    #[test]
+    fn registry_workload_runs_end_to_end() {
+        let w = workloads::by_name("641.leela").expect("registered");
+        let mut sim = Simulator::for_workload(SimConfig::baseline(FetchArch::Dcf), &w);
+        let s = sim.run(20_000);
+        assert!(s.ipc() > 0.1);
+        assert!(s.branch_mpki() > 2.0, "leela must be a high-MPKI model: {}", s.branch_mpki());
+    }
+
+    #[test]
+    fn watchdog_flushes_are_rare() {
+        let mut sim = Simulator::new(
+            SimConfig::baseline(FetchArch::Elf(ElfVariant::U)),
+            &mini_spec(31),
+        );
+        let s = sim.run(50_000);
+        let per_ki = s.backend.watchdog_flushes as f64 * 1000.0 / s.retired as f64;
+        assert!(
+            per_ki < 2.0,
+            "watchdog flushes should be a rare safety net: {per_ki}/KI"
+        );
+    }
+}

@@ -1,0 +1,450 @@
+//! U-ELF divergence tracking: bitvectors and target queues (paper §IV-C2).
+//!
+//! While the fetcher runs in coupled mode with its own (simple) predictors,
+//! it may leave the path the DCF will eventually produce. Two per-instruction
+//! bitvectors — one populated after Decode (coupled stream), one at Fetch
+//! from arriving FAQ blocks (decoupled stream) — are compared every cycle;
+//! taken direct/indirect targets are additionally compared through two
+//! 16-entry target queues.
+//!
+//! Resolution policy on divergence (paper):
+//! * direction or indirect-target mismatch → **trust the DCF**: flush
+//!   coupled instructions past the divergence point;
+//! * direct-branch target mismatch (only possible with stale BTB content,
+//!   e.g. self-modifying code) → **trust the fetcher**: flush the DCF;
+//! * mismatch against a *BTB-miss proxy* block (the DCF believes the stream
+//!   is sequential but the fetcher decoded a taken branch, §IV-C2 case 1) →
+//!   **trust the fetcher**.
+//!
+//! Recording convention: both sides record one slot per instruction of
+//! their stream, with `(taken, branch) = (1, 1)` only for *taken-predicted*
+//! branches — not-taken predictions and non-branches record `(0, 0)`. This
+//! keeps the two streams positionally aligned up to the first divergent
+//! control-flow decision, which is exactly where a mismatching pair appears.
+
+use elf_types::{Addr, BranchKind};
+use std::collections::VecDeque;
+
+/// One bitvector slot: `(taken, is_branch)` per instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VecSlot {
+    /// Taken bit (0 for non-branches and not-taken-predicted branches).
+    pub taken: bool,
+    /// Branch bit (set for taken-predicted branches).
+    pub branch: bool,
+}
+
+/// One target-queue slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TargetSlot {
+    /// Branch kind — decides the winner on a mismatch.
+    pub kind: BranchKind,
+    /// Predicted (decoupled) or decoded/coupled-predicted target.
+    pub target: Addr,
+}
+
+/// Outcome of a detected divergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Divergence {
+    /// The DCF's path is authoritative: flush coupled instructions with an
+    /// id greater than the contained one and resume on the DCF path.
+    TrustDcf {
+        /// Delivered-instruction id of the diverging coupled instruction.
+        fid: u64,
+        /// PC of the diverging coupled instruction.
+        pc: u64,
+        /// The DCF's direction for it.
+        dcf_taken: bool,
+        /// The DCF's target, when it predicted taken and one was recorded.
+        dcf_target: Option<u64>,
+    },
+    /// The fetcher decoded ground truth (stale BTB / BTB-miss proxy):
+    /// flush the DCF and continue fetching in coupled mode.
+    TrustFetcher,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CoupledRec {
+    slot: VecSlot,
+    fid: u64,
+    pc: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DecoupledRec {
+    slot: VecSlot,
+    /// Slot produced by a BTB-miss proxy block (DCF had no branch info).
+    proxy: bool,
+    /// The DCF's taken-target for this slot, if predicted taken.
+    target: Option<u64>,
+}
+
+/// The comparison state. Slots are matched pairwise in order; matching
+/// pairs retire immediately (the valid-bit guarded comparison of Fig. 4).
+#[derive(Debug, Clone)]
+pub struct DivergenceTracker {
+    coupled_vec: VecDeque<CoupledRec>,
+    decoupled_vec: VecDeque<DecoupledRec>,
+    coupled_tq: VecDeque<(TargetSlot, u64)>,
+    decoupled_tq: VecDeque<TargetSlot>,
+    vec_capacity: usize,
+    tq_capacity: usize,
+    divergences: u64,
+}
+
+impl DivergenceTracker {
+    /// Creates a tracker with the given capacities (Table II: 64-entry
+    /// bitvectors, 16-entry target queues).
+    #[must_use]
+    pub fn new(vec_capacity: usize, tq_capacity: usize) -> Self {
+        DivergenceTracker {
+            coupled_vec: VecDeque::new(),
+            decoupled_vec: VecDeque::new(),
+            coupled_tq: VecDeque::new(),
+            decoupled_tq: VecDeque::new(),
+            vec_capacity,
+            tq_capacity,
+            divergences: 0,
+        }
+    }
+
+    /// Whether the coupled side may record another instruction (the fetcher
+    /// must stall when its bitvector is full).
+    #[must_use]
+    pub fn coupled_has_room(&self) -> bool {
+        self.coupled_vec.len() < self.vec_capacity && self.coupled_tq.len() < self.tq_capacity
+    }
+
+    /// Records one coupled-stream instruction (populated after Decode).
+    pub fn record_coupled(&mut self, slot: VecSlot, fid: u64, pc: u64, target: Option<TargetSlot>) {
+        self.coupled_vec.push_back(CoupledRec { slot, fid, pc });
+        if let Some(t) = target {
+            self.coupled_tq.push_back((t, fid));
+        }
+    }
+
+    /// Records one decoupled-stream instruction (populated at Fetch from a
+    /// FAQ block; `proxy` marks BTB-miss proxy blocks).
+    pub fn record_decoupled(&mut self, slot: VecSlot, proxy: bool, target: Option<TargetSlot>) {
+        self.decoupled_vec.push_back(DecoupledRec {
+            slot,
+            proxy,
+            target: target.map(|t| t.target),
+        });
+        if let Some(t) = target {
+            self.decoupled_tq.push_back(t);
+        }
+    }
+
+    /// Compares sibling entries (both queues) and retires matching pairs.
+    /// Returns the first divergence found, if any. After a divergence the
+    /// caller must [`DivergenceTracker::reset`].
+    pub fn compare(&mut self) -> Option<Divergence> {
+        // Walk both streams in program order. Target queues hold exactly
+        // one entry per taken-predicted slot on their side, so they are
+        // consulted only when a matching (taken, branch) pair needs its
+        // targets verified — comparing them out of order would resolve a
+        // *later* target mismatch before an *earlier* direction mismatch.
+        while let (Some(&c), Some(&d)) =
+            (self.coupled_vec.front(), self.decoupled_vec.front())
+        {
+            if c.slot != d.slot {
+                self.divergences += 1;
+                // §IV-C2 case 1: the DCF streamed a sequential proxy while
+                // the fetcher decoded a taken branch — the fetcher wins.
+                if d.proxy && c.slot.taken {
+                    return Some(Divergence::TrustFetcher);
+                }
+                return Some(Divergence::TrustDcf {
+                    fid: c.fid,
+                    pc: c.pc,
+                    dcf_taken: d.slot.taken,
+                    dcf_target: d.target,
+                });
+            }
+            if c.slot.taken {
+                // Both sides predicted taken here: verify kind and target.
+                if self.coupled_tq.is_empty() && self.decoupled_tq.is_empty() {
+                    // No target data recorded for this pair (tests/edge);
+                    // treat as matching.
+                    self.coupled_vec.pop_front();
+                    self.decoupled_vec.pop_front();
+                    continue;
+                }
+                let (Some(&(ct, fid)), Some(&dt)) =
+                    (self.coupled_tq.front(), self.decoupled_tq.front())
+                else {
+                    // Target data not recorded yet on one side; wait.
+                    return None;
+                };
+                if ct.kind != dt.kind {
+                    // Branch-kind mismatch (stale BTB type info): the
+                    // fetcher decoded the real instruction.
+                    self.divergences += 1;
+                    return Some(Divergence::TrustFetcher);
+                }
+                if ct.target != dt.target {
+                    self.divergences += 1;
+                    if ct.kind.is_direct() {
+                        return Some(Divergence::TrustFetcher);
+                    }
+                    return Some(Divergence::TrustDcf {
+                        fid,
+                        pc: c.pc,
+                        dcf_taken: true,
+                        dcf_target: Some(dt.target),
+                    });
+                }
+                self.coupled_tq.pop_front();
+                self.decoupled_tq.pop_front();
+            }
+            self.coupled_vec.pop_front();
+            self.decoupled_vec.pop_front();
+        }
+        None
+    }
+
+    /// Whether every recorded instruction has been validated — the mode
+    /// switch completes only once all coupled instructions have passed
+    /// through Decode and matched (paper §IV-C3).
+    #[must_use]
+    pub fn fully_drained(&self) -> bool {
+        self.coupled_vec.is_empty()
+            && self.decoupled_vec.is_empty()
+            && self.coupled_tq.is_empty()
+            && self.decoupled_tq.is_empty()
+    }
+
+    /// Clears all state (mode switch complete or flush).
+    pub fn reset(&mut self) {
+        self.coupled_vec.clear();
+        self.decoupled_vec.clear();
+        self.coupled_tq.clear();
+        self.decoupled_tq.clear();
+    }
+
+    /// Number of divergences detected since construction.
+    #[must_use]
+    pub fn divergences(&self) -> u64 {
+        self.divergences
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use elf_types::BranchKind;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Identical coupled/decoupled streams never diverge and always
+        /// drain completely.
+        #[test]
+        fn matched_streams_never_diverge(
+            slots in proptest::collection::vec((any::<bool>(), 0u64..1u64 << 20), 1..64)
+        ) {
+            let mut t = DivergenceTracker::new(64, 64);
+            for (i, &(taken, tgt)) in slots.iter().enumerate() {
+                let slot = VecSlot { taken, branch: taken };
+                let tq = taken.then_some(TargetSlot {
+                    kind: BranchKind::CondDirect,
+                    target: tgt,
+                });
+                t.record_coupled(slot, i as u64, 0x1000 + i as u64 * 4, tq);
+                t.record_decoupled(slot, false, tq);
+            }
+            prop_assert_eq!(t.compare(), None);
+            prop_assert!(t.fully_drained());
+            prop_assert_eq!(t.divergences(), 0);
+        }
+
+        /// Flipping exactly one direction bit always produces a trust-DCF
+        /// divergence at that instruction.
+        #[test]
+        fn single_direction_flip_is_always_detected(
+            len in 2usize..40,
+            flip in 0usize..40,
+        ) {
+            let flip = flip % len;
+            let mut t = DivergenceTracker::new(64, 64);
+            for i in 0..len {
+                let cpl_taken = i == flip;
+                t.record_coupled(
+                    VecSlot { taken: cpl_taken, branch: cpl_taken },
+                    i as u64,
+                    0x2000 + i as u64 * 4,
+                    cpl_taken.then_some(TargetSlot {
+                        kind: BranchKind::CondDirect,
+                        target: 0x40,
+                    }),
+                );
+                t.record_decoupled(VecSlot { taken: false, branch: false }, false, None);
+            }
+            match t.compare() {
+                Some(Divergence::TrustDcf { fid, .. }) => prop_assert_eq!(fid, flip as u64),
+                other => prop_assert!(false, "expected TrustDcf, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elf_types::BranchKind::*;
+
+    fn slot(taken: bool, branch: bool) -> VecSlot {
+        VecSlot { taken, branch }
+    }
+
+    fn tracker() -> DivergenceTracker {
+        DivergenceTracker::new(64, 16)
+    }
+
+    #[test]
+    fn matching_streams_drain() {
+        let mut t = tracker();
+        for i in 0..10 {
+            t.record_coupled(slot(false, false), i, 0x100 + i * 4, None);
+            t.record_decoupled(slot(false, false), false, None);
+        }
+        t.record_coupled(
+            slot(true, true),
+            10,
+            0x128,
+            Some(TargetSlot { kind: CondDirect, target: 0x100 }),
+        );
+        t.record_decoupled(
+            slot(true, true),
+            false,
+            Some(TargetSlot { kind: CondDirect, target: 0x100 }),
+        );
+        assert_eq!(t.compare(), None);
+        assert!(t.fully_drained());
+        assert_eq!(t.divergences(), 0);
+    }
+
+    #[test]
+    fn direction_mismatch_trusts_dcf_and_names_the_fid() {
+        let mut t = tracker();
+        // Coupled bimodal said taken; DCF's TAGE said not-taken.
+        t.record_coupled(slot(true, true), 42, 0x800, None);
+        t.record_decoupled(slot(false, false), false, None);
+        assert_eq!(
+            t.compare(),
+            Some(Divergence::TrustDcf {
+                fid: 42,
+                pc: 0x800,
+                dcf_taken: false,
+                dcf_target: None
+            })
+        );
+    }
+
+    #[test]
+    fn btb_miss_proxy_mismatch_trusts_fetcher() {
+        // Paper §IV-C2 case 1: on a BTB miss the DCF streams sequential
+        // slots while the fetcher decodes a taken unconditional.
+        let mut t = tracker();
+        t.record_coupled(slot(true, true), 7, 0x900, None);
+        t.record_decoupled(slot(false, false), true, None);
+        assert_eq!(t.compare(), Some(Divergence::TrustFetcher));
+    }
+
+    #[test]
+    fn indirect_target_mismatch_trusts_dcf() {
+        let mut t = tracker();
+        t.record_coupled(
+            slot(true, true),
+            3,
+            0xa00,
+            Some(TargetSlot { kind: IndirectJump, target: 0x1000 }),
+        );
+        t.record_decoupled(
+            slot(true, true),
+            false,
+            Some(TargetSlot { kind: IndirectJump, target: 0x2000 }),
+        );
+        assert_eq!(
+            t.compare(),
+            Some(Divergence::TrustDcf {
+                fid: 3,
+                pc: 0xa00,
+                dcf_taken: true,
+                dcf_target: Some(0x2000)
+            })
+        );
+    }
+
+    #[test]
+    fn direct_target_mismatch_trusts_fetcher() {
+        // Stale BTB target (self-modifying code): the fetcher decoded the
+        // true target from the instruction word.
+        let mut t = tracker();
+        t.record_coupled(
+            slot(true, true),
+            1,
+            0xb00,
+            Some(TargetSlot { kind: UncondDirect, target: 0x3000 }),
+        );
+        t.record_decoupled(
+            slot(true, true),
+            false,
+            Some(TargetSlot { kind: UncondDirect, target: 0x4000 }),
+        );
+        assert_eq!(t.compare(), Some(Divergence::TrustFetcher));
+    }
+
+    #[test]
+    fn comparison_waits_for_the_slower_stream() {
+        let mut t = tracker();
+        t.record_coupled(slot(false, false), 0, 0xc00, None);
+        t.record_coupled(slot(true, true), 1, 0xc04, None);
+        assert_eq!(t.compare(), None, "decoupled stream not there yet");
+        assert!(!t.fully_drained());
+        t.record_decoupled(slot(false, false), false, None);
+        t.record_decoupled(slot(true, true), false, None);
+        assert_eq!(t.compare(), None);
+        assert!(t.fully_drained());
+    }
+
+    #[test]
+    fn capacity_limits_reported() {
+        let mut t = DivergenceTracker::new(2, 1);
+        t.record_coupled(slot(false, false), 0, 0xd00, None);
+        t.record_coupled(slot(false, false), 1, 0xd04, None);
+        assert!(!t.coupled_has_room());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut t = tracker();
+        t.record_coupled(
+            slot(true, true),
+            0,
+            0xe00,
+            Some(TargetSlot { kind: Return, target: 0x10 }),
+        );
+        t.reset();
+        assert!(t.fully_drained());
+    }
+
+    #[test]
+    fn kind_mismatch_in_target_queue_trusts_fetcher() {
+        let mut t = tracker();
+        t.record_coupled(
+            slot(true, true),
+            0,
+            0xf00,
+            Some(TargetSlot { kind: Return, target: 0x10 }),
+        );
+        t.record_decoupled(
+            slot(true, true),
+            false,
+            Some(TargetSlot { kind: IndirectJump, target: 0x10 }),
+        );
+        assert_eq!(t.compare(), Some(Divergence::TrustFetcher));
+    }
+}

@@ -1,0 +1,1541 @@
+//! The front-end proper: NoDCF / DCF / ELF pipelines.
+//!
+//! See the crate docs for the stage diagram. The [`Frontend`] is ticked once
+//! per cycle by the simulator core; it fetches from the static program
+//! image (including down wrong paths — the back-end resolves truth at
+//! execute), delivers decoded instructions, and reacts to back-end flushes
+//! through [`Frontend::flush`] and retirements through [`Frontend::retire`].
+
+use crate::config::{CoupledCondKind, ElfVariant, FetchArch, FrontendConfig};
+use crate::divergence::{Divergence, DivergenceTracker, TargetSlot, VecSlot};
+use crate::faq::Faq;
+use crate::stats::FrontendStats;
+use crate::timing::{generation_bubbles, ExitClass};
+use elf_btb::{BtbBranch, BtbBuilder, BtbEntry, BtbHierarchy, BtbStats};
+use elf_mem::MemorySystem;
+use elf_predictors::{Bimodal, BranchTargetCache, Gshare, Ittage, Ras, Tage};
+use elf_trace::Program;
+use elf_types::{
+    seq_pc, Addr, BranchKind, Cycle, FaqBranch, FaqEntry, FaqTermination, FetchMode,
+    FetchedInst, PredSource, Prediction, INST_BYTES, MAX_BLOCK_INSTS,
+};
+use std::collections::{HashMap, VecDeque};
+
+/// An instruction delivered to the back-end, tagged with a monotonically
+/// increasing front-end id used for flush boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveredInst {
+    /// Front-end id (monotonic over the whole run, never reused).
+    pub fid: u64,
+    /// The fetched/decoded record.
+    pub inst: FetchedInst,
+}
+
+/// A divergence resolved in favor of the DCF (paper §IV-C2): the back-end
+/// must squash everything younger than the named branch, and the branch's
+/// *effective* prediction becomes the DCF's direction (the fetch stream now
+/// follows it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DivergenceSquash {
+    /// Squash every instruction with `fid` greater than this.
+    pub boundary_fid: u64,
+    /// The diverging branch's id.
+    pub fid: u64,
+    /// The DCF's direction for the branch.
+    pub taken: bool,
+    /// The DCF's target (resolved; `None` for a not-taken direction).
+    pub target: Option<Addr>,
+}
+
+/// Result of one front-end cycle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TickOutput {
+    /// Instructions decoded this cycle, in program order.
+    pub delivered: Vec<DeliveredInst>,
+    /// If set, a U-ELF divergence was resolved in favor of the DCF.
+    pub squash: Option<DivergenceSquash>,
+}
+
+/// A speculative RAS operation replayed during flush repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RasOp {
+    /// A call pushed this return address.
+    Push(Addr),
+    /// A return popped the stack.
+    Pop,
+}
+
+/// Back-end flush context (mispredict, RAW hazard, divergence recovery).
+#[derive(Debug, Clone)]
+pub struct FlushCtx<'a> {
+    /// Correct-path PC to restart fetching at.
+    pub restart_pc: Addr,
+    /// Delivered instructions with `fid > boundary_fid` are squashed.
+    pub boundary_fid: u64,
+    /// Resolved history bits of in-flight (unretired, surviving) branches
+    /// up to the boundary, oldest first. The speculative history is rebuilt
+    /// as retired-history extended by these bits.
+    pub hist_replay: &'a [bool],
+    /// In-flight (unretired) call/return operations up to the boundary,
+    /// oldest first, used to rebuild the speculative RAS from the
+    /// architectural one.
+    pub ras_replay: &'a [RasOp],
+}
+
+/// Information about one retiring instruction, fed back for BTB
+/// establishment and predictor training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetireInfo {
+    /// Front-end id.
+    pub fid: u64,
+    /// Instruction address.
+    pub pc: Addr,
+    /// Branch kind, if a branch.
+    pub kind: Option<BranchKind>,
+    /// Resolved direction.
+    pub taken: bool,
+    /// Resolved next PC (target for taken branches, fall-through otherwise).
+    pub next_pc: Addr,
+    /// Static target for direct branches (stored in the BTB).
+    pub static_target: Option<Addr>,
+    /// Which engine fetched it (routes coupled-predictor training, §IV-D3).
+    pub mode: FetchMode,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct GroupInst {
+    pc: Addr,
+    pred: Option<Prediction>,
+    /// True when Decode must make the control-flow decision (BTB-miss proxy
+    /// blocks, coupled mode, NoDCF).
+    proxy: bool,
+    /// Predict-time history snapshot for tracked branches (from the FAQ).
+    hist: Option<u128>,
+}
+
+#[derive(Debug, Clone)]
+struct FetchGroup {
+    insts: Vec<GroupInst>,
+    ready_at: Cycle,
+    mode: FetchMode,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StalledBranch {
+    pc: Addr,
+    kind: BranchKind,
+    static_target: Option<Addr>,
+}
+
+/// The front-end. One instance per simulated core.
+#[derive(Debug)]
+pub struct Frontend {
+    cfg: FrontendConfig,
+    arch: FetchArch,
+
+    // Prediction structures (decoupled / main).
+    btb: BtbHierarchy,
+    btb_builder: BtbBuilder,
+    tage: Tage,
+    ittage: Ittage,
+    btc: BranchTargetCache,
+    ras: Ras,
+    retire_ras: Ras,
+
+    // Coupled predictors (ELF).
+    cpl_cond: CoupledCond,
+    cpl_btc: BranchTargetCache,
+    cpl_ras: Ras,
+
+    // Shared speculative global history (TAGE + ITTAGE).
+    spec_hist: u128,
+    retired_hist: u128,
+    snapshots: HashMap<u64, u128>,
+
+    // DCF engine.
+    dcf_pc: Addr,
+    dcf_busy: Cycle,
+    faq: Faq,
+
+    // Fetch engine.
+    fe_busy: Cycle,
+    groups: VecDeque<FetchGroup>,
+
+    // Mode state (ELF) / PC generation state (NoDCF reuses `coupled_pc`).
+    mode: FetchMode,
+    coupled_pc: Addr,
+    /// PC following the youngest *delivered* coupled instruction (recovery
+    /// point when the DCF is flushed on a trust-fetcher divergence).
+    cpl_next_pc: Addr,
+    stall: Option<StalledBranch>,
+    fcc: u64,
+    dcc: u64,
+    dc: u64,
+    div: DivergenceTracker,
+    /// Positional predictions for coupled instructions still in flight at
+    /// switch time (one slot per fetched-but-undecoded instruction, from
+    /// the FAQ block that covered them).
+    leftover_preds: VecDeque<Option<Prediction>>,
+
+    fid_next: u64,
+    last_retired_fid: u64,
+    /// Cycle of the last back-end flush with no delivery yet (recovery
+    /// latency measurement).
+    pending_resteer_cycle: Option<Cycle>,
+    stats: FrontendStats,
+}
+
+impl Frontend {
+    /// Creates a front-end starting at `start_pc`.
+    #[must_use]
+    pub fn new(cfg: FrontendConfig, arch: FetchArch, start_pc: Addr) -> Self {
+        let mode = match arch {
+            FetchArch::NoDcf => FetchMode::Coupled,
+            FetchArch::Dcf => FetchMode::Decoupled,
+            // ELF powers on coupled: fetch probes the I-cache immediately
+            // while the DCF spins up.
+            FetchArch::Elf(_) => FetchMode::Coupled,
+        };
+        Frontend {
+            btb: BtbHierarchy::new(&cfg.btb),
+            btb_builder: BtbBuilder::new(),
+            tage: Tage::new(cfg.tage.clone()),
+            ittage: Ittage::paper(),
+            btc: BranchTargetCache::paper(),
+            ras: Ras::new(cfg.ras_entries),
+            retire_ras: Ras::new(cfg.ras_entries),
+            cpl_cond: match cfg.cpl_cond_kind {
+                CoupledCondKind::Bimodal => CoupledCond::Bimodal(Bimodal::new(
+                    cfg.cpl_bimodal_entries,
+                    cfg.cpl_bimodal_bits,
+                )),
+                CoupledCondKind::Gshare { hist_bits } => {
+                    CoupledCond::Gshare(Gshare::new(cfg.cpl_bimodal_entries, hist_bits))
+                }
+            },
+            cpl_btc: BranchTargetCache::new(cfg.cpl_btc_entries, 12),
+            cpl_ras: Ras::new(cfg.cpl_ras_entries),
+            spec_hist: 0,
+            retired_hist: 0,
+            snapshots: HashMap::new(),
+            dcf_pc: start_pc,
+            dcf_busy: 0,
+            faq: Faq::new(cfg.faq_entries),
+            fe_busy: 0,
+            groups: VecDeque::new(),
+            mode,
+            coupled_pc: start_pc,
+            cpl_next_pc: start_pc,
+            stall: None,
+            fcc: 0,
+            dcc: 0,
+            dc: 0,
+            div: DivergenceTracker::new(cfg.bitvec_entries, cfg.target_queue_entries),
+            leftover_preds: VecDeque::new(),
+            fid_next: 0,
+            last_retired_fid: 0,
+            pending_resteer_cycle: None,
+            stats: FrontendStats::default(),
+            cfg,
+            arch,
+        }
+    }
+
+    /// The configured fetch architecture.
+    #[must_use]
+    pub fn arch(&self) -> FetchArch {
+        self.arch
+    }
+
+    /// Whether the fetcher is currently in coupled mode (always `true` for
+    /// NoDCF, always `false` for plain DCF).
+    #[must_use]
+    pub fn in_coupled_mode(&self) -> bool {
+        self.mode == FetchMode::Coupled
+    }
+
+    /// One-line internal state summary (diagnostics).
+    #[must_use]
+    pub fn debug_state(&self) -> String {
+        format!(
+            "mode={:?} stall={:?} faq_len={} head_consumed={} groups={} fcc={} dcc={} dc={}              fe_busy={} dcf_busy={} div_drained={} cpl_room={}",
+            self.mode,
+            self.stall,
+            self.faq.len(),
+            self.faq.head_consumed(),
+            self.groups.len(),
+            self.fcc,
+            self.dcc,
+            self.dc,
+            self.fe_busy,
+            self.dcf_busy,
+            self.div.fully_drained(),
+            self.div.coupled_has_room(),
+        )
+    }
+
+    /// Front-end statistics.
+    #[must_use]
+    pub fn stats(&self) -> &FrontendStats {
+        &self.stats
+    }
+
+    /// BTB statistics.
+    #[must_use]
+    pub fn btb_stats(&self) -> BtbStats {
+        self.btb.stats()
+    }
+
+    /// Mean FAQ occupancy (blocks).
+    #[must_use]
+    pub fn faq_mean_occupancy(&self) -> f64 {
+        self.faq.mean_occupancy()
+    }
+
+    /// Resets statistics after warm-up.
+    pub fn reset_stats(&mut self) {
+        self.stats = FrontendStats::default();
+        self.btb.reset_stats();
+    }
+
+    /// Installs a BTB entry directly, bypassing retirement — test hook for
+    /// the stale-BTB (self-modifying-code) divergence cases of §IV-C2,
+    /// which no synthetic workload produces naturally.
+    #[doc(hidden)]
+    pub fn inject_btb_entry(&mut self, entry: BtbEntry) {
+        self.btb.overwrite(entry);
+    }
+
+    fn elf_variant(&self) -> Option<ElfVariant> {
+        match self.arch {
+            FetchArch::Elf(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn next_fid(&mut self) -> u64 {
+        self.fid_next += 1;
+        self.fid_next
+    }
+
+    /// The shared history bit a resolved branch contributes: conditional
+    /// outcomes only (the standard TAGE GHR design — unconditional branches
+    /// contribute nothing, keeping history positions path-stable).
+    #[must_use]
+    pub fn history_bit(kind: BranchKind, taken: bool, target: Addr) -> Option<bool> {
+        let _ = target;
+        kind.is_conditional().then_some(taken)
+    }
+
+    // ------------------------------------------------------------------
+    // Tick
+    // ------------------------------------------------------------------
+
+    /// Advances the front-end by one cycle.
+    pub fn tick(&mut self, prog: &Program, mem: &mut MemorySystem, cycle: Cycle) -> TickOutput {
+        self.stats.cycles += 1;
+        self.faq.sample_occupancy();
+        if self.arch.has_dcf() {
+            match self.mode {
+                FetchMode::Coupled => self.stats.coupled_cycles += 1,
+                FetchMode::Decoupled => self.stats.decoupled_cycles += 1,
+            }
+        }
+
+        let mut out = TickOutput::default();
+        match self.arch {
+            FetchArch::NoDcf => {
+                self.decode_stage(prog, cycle, &mut out);
+                self.fetch_stage_nodcf(mem, cycle);
+            }
+            FetchArch::Dcf | FetchArch::Elf(_) => {
+                self.decode_stage(prog, cycle, &mut out);
+                if matches!(self.arch, FetchArch::Elf(_)) {
+                    // Bitvector/target-queue comparison runs every cycle,
+                    // including after the mode switch until the coupled
+                    // stream fully drains (paper §IV-C3).
+                    self.check_divergence(prog, cycle, &mut out);
+                }
+                if self.mode == FetchMode::Coupled {
+                    self.resync_stage(prog, cycle, &mut out);
+                }
+                self.fetch_stage(prog, mem, cycle);
+                self.dcf_generate(prog, mem, cycle);
+                if self.cfg.ifetch_prefetch {
+                    self.issue_prefetches(mem, cycle);
+                }
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // DCF: BP1/BP2 block generation
+    // ------------------------------------------------------------------
+
+    fn dcf_generate(&mut self, prog: &Program, mem: &MemorySystem, cycle: Cycle) {
+        if cycle < self.dcf_busy || !self.faq.has_room() {
+            return;
+        }
+        let start = self.dcf_pc;
+        let visible = cycle + u64::from(self.cfg.bp_to_faq_delay);
+
+        let (entry, level) = match self.btb.lookup(start) {
+            Some(hit) => (hit.entry, hit.level),
+            None if self.cfg.btb_miss_probe && mem.l0i_has(start) => {
+                // Boomerang-style recovery (§VI-C extension): the line is in
+                // the L0I, so pre-decode branch info from the cache data
+                // instead of streaming a blind proxy. Costs like an L2 hit.
+                self.stats.boomerang_blocks += 1;
+                (Self::predecode_entry(prog, start), 2)
+            }
+            None => {
+                // All levels missed: stream a sequential proxy block (§III-C).
+                let count = MAX_BLOCK_INSTS as u8;
+                let next = seq_pc(start, count as usize);
+                self.faq.push(
+                    FaqEntry {
+                        start_pc: start,
+                        inst_count: count,
+                        term: FaqTermination::BtbMiss,
+                        next_pc: next,
+                        branches: Vec::new(),
+                        enqueue_cycle: cycle,
+                    },
+                    visible,
+                );
+                self.dcf_pc = next;
+                self.dcf_busy = cycle + 1;
+                self.stats.faq_blocks += 1;
+                self.stats.btb_miss_blocks += 1;
+                return;
+            }
+        };
+        let mut branches: Vec<FaqBranch> = Vec::new();
+        // (offset, kind, target, Figure-2 exit class)
+        let mut exit: Option<(u8, BranchKind, Option<Addr>, ExitClass)> = None;
+
+        for b in entry.branches() {
+            let bpc = seq_pc(start, b.offset as usize);
+            match b.kind {
+                BranchKind::CondDirect => {
+                    let hist = self.spec_hist;
+                    let p = self.tage.predict_with_hist(bpc, hist);
+                    let src = if p.provider.is_some() {
+                        PredSource::TageTagged
+                    } else {
+                        PredSource::Bimodal
+                    };
+                    branches.push(FaqBranch {
+                        offset: b.offset,
+                        kind: b.kind,
+                        pred_taken: p.taken,
+                        pred_target: b.target,
+                        source: src,
+                        hist,
+                    });
+                    self.spec_hist = (self.spec_hist << 1) | u128::from(p.taken);
+                    if p.taken {
+                        // On an L0 BTB hit, only the bimodal is fast enough
+                        // for same-cycle next-PC generation; a tagged
+                        // override costs one bubble (§III-B).
+                        let class = if p.tagged_override {
+                            ExitClass::CondTaggedOverride
+                        } else {
+                            ExitClass::CondBimodal
+                        };
+                        exit = Some((b.offset, b.kind, b.target, class));
+                        break;
+                    }
+                }
+                BranchKind::UncondDirect | BranchKind::Call => {
+                    let hist = self.spec_hist;
+                    branches.push(FaqBranch {
+                        offset: b.offset,
+                        kind: b.kind,
+                        pred_taken: true,
+                        pred_target: b.target,
+                        source: PredSource::Btb,
+                        hist,
+                    });
+                    if b.kind == BranchKind::Call {
+                        self.ras.push(bpc + INST_BYTES);
+                    }
+                    exit = Some((b.offset, b.kind, b.target, ExitClass::DirectUncond));
+                    break;
+                }
+                BranchKind::Return => {
+                    let hist = self.spec_hist;
+                    let tgt = self.ras.pop();
+                    branches.push(FaqBranch {
+                        offset: b.offset,
+                        kind: b.kind,
+                        pred_taken: true,
+                        pred_target: tgt,
+                        source: PredSource::Ras,
+                        hist,
+                    });
+                    // RAS output is fast enough to hide the bubble on an L0
+                    // BTB hit (§V-B).
+                    exit = Some((b.offset, b.kind, tgt, ExitClass::RasReturn));
+                    break;
+                }
+                BranchKind::IndirectJump | BranchKind::IndirectCall => {
+                    let hist = self.spec_hist;
+                    let (tgt, src, class) = match self.btc.predict(bpc) {
+                        Some(t) => (Some(t), PredSource::BranchTargetCache, ExitClass::IndirectBtc),
+                        None => (
+                            self.ittage.predict_with_hist(bpc, hist),
+                            PredSource::Ittage,
+                            ExitClass::IndirectIttage,
+                        ),
+                    };
+                    branches.push(FaqBranch {
+                        offset: b.offset,
+                        kind: b.kind,
+                        pred_taken: true,
+                        pred_target: tgt,
+                        source: src,
+                        hist,
+                    });
+                    if b.kind == BranchKind::IndirectCall {
+                        self.ras.push(bpc + INST_BYTES);
+                    }
+                    exit = Some((b.offset, b.kind, tgt, class));
+                    break;
+                }
+            }
+        }
+
+        let (count, term, next) = match exit {
+            Some((off, kind, tgt, _)) => {
+                let next = tgt.unwrap_or_else(|| seq_pc(start, off as usize + 1));
+                (off + 1, FaqTermination::TakenBranch(kind), next)
+            }
+            None => (entry.inst_count, FaqTermination::FallThrough, entry.fallthrough()),
+        };
+
+        // Bubble accounting (§III-B / Fig. 2): stated in `timing.rs` and
+        // tested exhaustively there.
+        let class = exit.map_or(
+            ExitClass::FallThrough { full_length: entry.is_full_length() },
+            |(_, _, _, c)| c,
+        );
+        let bubbles = generation_bubbles(level, class, self.cfg.ittage_bubbles);
+
+        self.stats.bp_bubbles += u64::from(bubbles);
+        self.stats.faq_blocks += 1;
+        self.faq.push(
+            FaqEntry {
+                start_pc: start,
+                inst_count: count,
+                term,
+                next_pc: next,
+                branches,
+                enqueue_cycle: cycle,
+            },
+            visible,
+        );
+        let _ = prog;
+        self.dcf_pc = next;
+        self.dcf_busy = cycle + 1 + u64::from(bubbles);
+    }
+
+    // ------------------------------------------------------------------
+    // ELF resynchronization (paper §IV-B1 / Fig. 5)
+    // ------------------------------------------------------------------
+
+    fn resync_stage(&mut self, prog: &Program, cycle: Cycle, out: &mut TickOutput) {
+        debug_assert!(matches!(self.arch, FetchArch::Elf(_)));
+        // The bitvectors and target queues are compared every cycle
+        // (Fig. 4), not just when new records arrive.
+        self.check_divergence(prog, cycle, out);
+        if self.mode != FetchMode::Coupled {
+            return;
+        }
+        // Process visible FAQ blocks against the counters. At most a few
+        // blocks per cycle (hardware compares one; allowing the backlog to
+        // drain faster only shortens coupled periods marginally).
+        for _ in 0..2 {
+            if self.mode != FetchMode::Coupled {
+                return;
+            }
+            let Some(head) = self.faq.head(cycle) else { return };
+            let head_count = u64::from(head.inst_count);
+            let head_clone = head.clone();
+            // Proxy blocks (all-level BTB miss) carry no branch info: the
+            // fetcher must not resynchronize onto them — decode keeps the
+            // control-flow authority through those regions (§III-C).
+            let proxy = head_clone.term == FaqTermination::BtbMiss;
+
+            // Pending stall covered by this block?
+            if let Some(st) = self.stall {
+                if self.dc <= self.dcc && self.dcc < self.dc + head_count {
+                    if proxy {
+                        // The DCF has no idea either: Decode consults the
+                        // main predictors (TAGE/RAS/BTC/ITTAGE) and the DCF
+                        // is resteered to follow the fetcher.
+                        let (pred, extra) =
+                            self.consult_main_predictors(st.pc, st.kind, st.static_target);
+                        self.deliver_one(
+                            prog,
+                            st.pc,
+                            Some(pred),
+                            FetchMode::Coupled,
+                            cycle,
+                            out,
+                        );
+                        self.dcc += 1;
+                        let next = if pred.taken {
+                            pred.target.unwrap_or(st.pc + INST_BYTES)
+                        } else {
+                            st.pc + INST_BYTES
+                        };
+                        self.stall = None;
+                        self.stats.decode_resteers += 1;
+                        self.coupled_restart_dcf(next, cycle, extra);
+                        return;
+                    }
+                    // Real block: deliver the stalled branch with the DCF's
+                    // prediction and switch to decoupled mode.
+                    let off = (self.dcc - self.dc) as u8;
+                    let pred = head_clone
+                        .branches
+                        .iter()
+                        .find(|b| b.offset == off)
+                        .map(|b| Prediction {
+                            taken: b.pred_taken,
+                            target: b.pred_target,
+                            source: b.source,
+                        })
+                        .unwrap_or_else(Prediction::not_taken);
+                    self.record_decoupled_prefix(&head_clone, off + 1);
+                    self.deliver_one(prog, st.pc, Some(pred), FetchMode::Coupled, cycle, out);
+                    self.record_coupled_for_pred(prog, st.pc, &pred, out);
+                    self.stall = None;
+                    self.switch_to_decoupled(&head_clone, off + 1);
+                    return;
+                }
+                if self.dc + head_count <= self.dcc {
+                    // Block fully covered by already-delivered instructions.
+                    self.record_decoupled_prefix(&head_clone, head_clone.inst_count);
+                    self.dc += head_count;
+                    self.faq.pop();
+                    self.check_divergence(prog, cycle, out);
+                    continue;
+                }
+                return;
+            }
+
+            // Fig. 5 switch test: will the decoupled stream cover everything
+            // fetched in coupled mode? (Never onto a proxy block.)
+            if !proxy && self.dc + head_count >= self.fcc {
+                let amend = (self.fcc - self.dc) as u8;
+                self.record_decoupled_prefix(&head_clone, amend);
+                // Positions dcc..fcc are fetched but not yet decoded; their
+                // FAQ-side predictions hand off positionally (Fig. 5 cycle 2
+                // validation of in-flight coupled instructions).
+                self.leftover_preds.clear();
+                let first = (self.dcc.max(self.dc) - self.dc) as u8;
+                for off in first..amend {
+                    let p = head_clone.branches.iter().find(|b| b.offset == off).map(|b| {
+                        Prediction {
+                            taken: b.pred_taken,
+                            target: b.pred_target,
+                            source: b.source,
+                        }
+                    });
+                    self.leftover_preds.push_back(p);
+                }
+                self.switch_to_decoupled(&head_clone, amend);
+                return;
+            }
+            // Pop test: fetcher already decoded past this whole block.
+            if self.dcc >= self.dc + head_count {
+                self.record_decoupled_prefix(&head_clone, head_clone.inst_count);
+                self.dc += head_count;
+                self.faq.pop();
+                self.check_divergence(prog, cycle, out);
+                continue;
+            }
+            return;
+        }
+    }
+
+    /// Restarts the DCF to follow the coupled fetcher (proxy-phase decode
+    /// decision or trust-fetcher divergence): a fresh coverage baseline at
+    /// `next_pc` with coupled fetching continuing.
+    fn coupled_restart_dcf(&mut self, next_pc: Addr, cycle: Cycle, extra_bubbles: u32) {
+        self.faq.flush();
+        self.groups.clear();
+        self.dcf_pc = next_pc;
+        self.dcf_busy = cycle + 1 + u64::from(extra_bubbles);
+        self.coupled_pc = next_pc;
+        self.fe_busy = self.fe_busy.max(cycle + 1 + u64::from(extra_bubbles));
+        self.div.reset();
+        self.leftover_preds.clear();
+        self.fcc = 0;
+        self.dcc = 0;
+        self.dc = 0;
+    }
+
+    /// Records the first `n` instructions of a FAQ block on the decoupled
+    /// side of the divergence tracker, and stashes branch predictions for
+    /// in-flight coupled instructions (U-ELF machinery; harmless for the
+    /// simpler variants).
+    fn record_decoupled_prefix(&mut self, entry: &FaqEntry, n: u8) {
+        let proxy = entry.term == FaqTermination::BtbMiss;
+        for off in 0..n.min(entry.inst_count) {
+            let fb = entry.branches.iter().find(|b| b.offset == off);
+            let (slot, tq) = match fb {
+                Some(b) if b.pred_taken => (
+                    VecSlot { taken: true, branch: true },
+                    Some(TargetSlot { kind: b.kind, target: b.pred_target.unwrap_or(0) }),
+                ),
+                _ => (VecSlot { taken: false, branch: false }, None),
+            };
+            self.div.record_decoupled(slot, proxy, tq);
+        }
+    }
+
+    fn switch_to_decoupled(&mut self, _head: &FaqEntry, consumed: u8) {
+        self.faq.amend_head(consumed);
+        self.mode = FetchMode::Decoupled;
+        self.stall = None;
+        self.fcc = 0;
+        self.dcc = 0;
+        self.dc = 0;
+        // Coupled-fetched groups still in flight flow through Decode and
+        // are validated against the recorded prefix (paper Fig. 5 cycle 2).
+    }
+
+    fn enter_coupled(&mut self, pc: Addr, cycle: Cycle) {
+        self.mode = FetchMode::Coupled;
+        self.coupled_pc = pc;
+        self.stall = None;
+        self.fcc = 0;
+        self.dcc = 0;
+        self.dc = 0;
+        self.div.reset();
+        self.leftover_preds.clear();
+        self.stats.coupled_periods += 1;
+        let _ = cycle;
+    }
+
+    fn check_divergence(&mut self, prog: &Program, cycle: Cycle, out: &mut TickOutput) {
+        match self.div.compare() {
+            None => {}
+            Some(Divergence::TrustDcf { fid, .. }) if fid <= self.last_retired_fid => {
+                // The diverging branch already retired with its coupled
+                // prediction — architecture committed, so the DCF was the
+                // one off-path. Flush it and keep fetching coupled.
+                self.stats.divergences_fetcher += 1;
+                let next = self.cpl_next_pc;
+                self.coupled_restart_dcf(next, cycle, 0);
+            }
+            Some(Divergence::TrustDcf { fid, pc, dcf_taken, dcf_target }) => {
+                // Flush coupled instructions past the divergence point and
+                // restart both engines on the DCF's resolved direction
+                // (gap-free recovery; the DCF pipeline restart costs its
+                // usual 3 stages). The branch's effective prediction is now
+                // the DCF's.
+                self.stats.divergences_dcf += 1;
+                let resume = if dcf_taken {
+                    dcf_target
+                        .filter(|&t| t != 0)
+                        .or_else(|| prog.inst_or_nop(pc).target)
+                        .unwrap_or(pc + INST_BYTES)
+                } else {
+                    pc + INST_BYTES
+                };
+                out.squash = Some(DivergenceSquash {
+                    boundary_fid: fid,
+                    fid,
+                    taken: dcf_taken,
+                    target: dcf_taken.then_some(resume),
+                });
+                out.delivered.retain(|d| d.fid <= fid);
+                self.groups.clear();
+                self.faq.flush();
+                self.stall = None;
+                self.div.reset();
+                self.leftover_preds.clear();
+                self.mode = FetchMode::Decoupled;
+                self.dcf_pc = resume;
+                self.dcf_busy = cycle + 1;
+                self.fe_busy = self.fe_busy.max(cycle + 1);
+            }
+            Some(Divergence::TrustFetcher) => {
+                // Stale BTB / BTB-miss proxy: the fetcher decoded ground
+                // truth. Flush the DCF and restart it at the next
+                // undelivered coupled PC; coupled fetching continues.
+                self.stats.divergences_fetcher += 1;
+                let next = self.cpl_next_pc;
+                self.coupled_restart_dcf(next, cycle, 0);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch stage
+    // ------------------------------------------------------------------
+
+    fn fetch_stage(&mut self, prog: &Program, mem: &mut MemorySystem, cycle: Cycle) {
+        if cycle < self.fe_busy || self.groups.len() >= self.cfg.max_inflight_groups {
+            return;
+        }
+        match self.mode {
+            FetchMode::Decoupled => self.fetch_decoupled(mem, cycle),
+            FetchMode::Coupled => self.fetch_coupled(prog, mem, cycle),
+        }
+    }
+
+    fn fetch_decoupled(&mut self, mem: &mut MemorySystem, cycle: Cycle) {
+        let Some(head) = self.faq.head(cycle).cloned() else { return };
+        let start_off = self.faq.head_consumed();
+        let avail = head.inst_count - start_off;
+        let take = (self.cfg.fetch_width as u8).min(avail);
+        let first_pc = seq_pc(head.start_pc, start_off as usize);
+        let proxy = head.term == FaqTermination::BtbMiss;
+        let term_taken = head.term.is_taken();
+
+        let mut insts: Vec<GroupInst> = Vec::with_capacity(self.cfg.fetch_width);
+        for i in 0..take {
+            let off = start_off + i;
+            let pc = seq_pc(head.start_pc, off as usize);
+            let fb = head.branches.iter().find(|b| b.offset == off);
+            insts.push(GroupInst {
+                pc,
+                pred: fb.map(|b| Prediction {
+                    taken: b.pred_taken,
+                    target: b.pred_target,
+                    source: b.source,
+                }),
+                proxy,
+                hist: fb.map(|b| b.hist),
+            });
+        }
+        let popped = self.faq.consume(take);
+
+        // Latency: the L0I access(es) for the line(s) the group touches.
+        let mut latency = mem.fetch(first_pc, cycle);
+        let last_pc = seq_pc(first_pc, take as usize - 1);
+        if last_pc / 64 != first_pc / 64 {
+            latency = latency.max(mem.fetch(last_pc, cycle));
+        }
+
+        // Fetch across a taken branch in the same cycle when the target
+        // maps to the other L0I interleave and its block is ready (§VI-A).
+        if popped && term_taken && (take as usize) < self.cfg.fetch_width {
+            if let Some(next) = self.faq.head(cycle).cloned() {
+                if self.faq.head_consumed() == 0
+                    && mem.l0i_interleave(next.start_pc) != mem.l0i_interleave(last_pc)
+                    && mem.l0i_has(next.start_pc)
+                {
+                    let extra =
+                        (self.cfg.fetch_width - take as usize).min(next.inst_count as usize) as u8;
+                    for i in 0..extra {
+                        let pc = seq_pc(next.start_pc, i as usize);
+                        let fb = next.branches.iter().find(|b| b.offset == i);
+                        insts.push(GroupInst {
+                            pc,
+                            pred: fb.map(|b| Prediction {
+                                taken: b.pred_taken,
+                                target: b.pred_target,
+                                source: b.source,
+                            }),
+                            proxy: next.term == FaqTermination::BtbMiss,
+                            hist: fb.map(|b| b.hist),
+                        });
+                    }
+                    self.faq.consume(extra);
+                    self.stats.interleaved_taken_fetches += 1;
+                }
+            }
+        }
+
+        self.fe_busy = cycle + u64::from(latency.max(1));
+        let ready = cycle + u64::from(latency.max(1)) - 1 + u64::from(self.cfg.decode_latency);
+        self.groups.push_back(FetchGroup { insts, ready_at: ready, mode: FetchMode::Decoupled });
+    }
+
+    fn fetch_coupled(&mut self, prog: &Program, mem: &mut MemorySystem, cycle: Cycle) {
+        if self.stall.is_some() {
+            return;
+        }
+        if self.elf_variant().is_some() && !self.div.coupled_has_room() {
+            return;
+        }
+        let width = self.cfg.fetch_width;
+        let first_pc = self.coupled_pc;
+        let mut insts = Vec::with_capacity(width);
+        for i in 0..width {
+            insts.push(GroupInst { pc: seq_pc(first_pc, i), pred: None, proxy: true, hist: None });
+        }
+        let mut latency = mem.fetch(first_pc, cycle);
+        let last_pc = seq_pc(first_pc, width - 1);
+        if last_pc / 64 != first_pc / 64 {
+            latency = latency.max(mem.fetch(last_pc, cycle));
+        }
+        self.coupled_pc = seq_pc(first_pc, width);
+        self.fcc += width as u64;
+        self.fe_busy = cycle + u64::from(latency.max(1));
+        let ready = cycle + u64::from(latency.max(1)) - 1 + u64::from(self.cfg.decode_latency);
+        self.groups.push_back(FetchGroup { insts, ready_at: ready, mode: FetchMode::Coupled });
+        let _ = prog;
+    }
+
+    fn fetch_stage_nodcf(&mut self, mem: &mut MemorySystem, cycle: Cycle) {
+        if cycle < self.fe_busy || self.groups.len() >= self.cfg.max_inflight_groups {
+            return;
+        }
+        let width = self.cfg.fetch_width;
+        let first_pc = self.coupled_pc;
+        let mut insts = Vec::with_capacity(width);
+        for i in 0..width {
+            insts.push(GroupInst { pc: seq_pc(first_pc, i), pred: None, proxy: true, hist: None });
+        }
+        let mut latency = mem.fetch(first_pc, cycle);
+        let last_pc = seq_pc(first_pc, width - 1);
+        if last_pc / 64 != first_pc / 64 {
+            latency = latency.max(mem.fetch(last_pc, cycle));
+        }
+        self.coupled_pc = seq_pc(first_pc, width);
+        self.fe_busy = cycle + u64::from(latency.max(1));
+        let ready = cycle + u64::from(latency.max(1)) - 1 + u64::from(self.cfg.decode_latency);
+        self.groups.push_back(FetchGroup { insts, ready_at: ready, mode: FetchMode::Coupled });
+    }
+
+    // ------------------------------------------------------------------
+    // Decode stage
+    // ------------------------------------------------------------------
+
+    fn decode_stage(&mut self, prog: &Program, cycle: Cycle, out: &mut TickOutput) {
+        let ready = matches!(self.groups.front(), Some(g) if g.ready_at <= cycle);
+        if !ready {
+            return;
+        }
+        let group = self.groups.pop_front().expect("checked above");
+        match (self.arch, group.mode) {
+            (FetchArch::NoDcf, _) => self.decode_nodcf(prog, &group, cycle, out),
+            (_, FetchMode::Decoupled) => self.decode_decoupled(prog, &group, cycle, out),
+            (_, FetchMode::Coupled) => self.decode_coupled(prog, &group, cycle, out),
+        }
+    }
+
+    /// NoDCF: predictions are attributed in parallel with Decode; every
+    /// taken branch resteers fetch (the taken-branch penalty, §III-B1).
+    fn decode_nodcf(
+        &mut self,
+        prog: &Program,
+        group: &FetchGroup,
+        cycle: Cycle,
+        out: &mut TickOutput,
+    ) {
+        for gi in &group.insts {
+            let sinst = prog.inst_or_nop(gi.pc);
+            let Some(kind) = sinst.branch_kind() else {
+                self.deliver_one(prog, gi.pc, None, FetchMode::Coupled, cycle, out);
+                continue;
+            };
+            let (pred, extra_bubbles) = self.consult_main_predictors(gi.pc, kind, sinst.target);
+            self.deliver_one(prog, gi.pc, Some(pred), FetchMode::Coupled, cycle, out);
+            if pred.taken {
+                if let Some(t) = pred.target {
+                    self.resteer_fetch_nodcf(t, cycle, extra_bubbles);
+                    return; // rest of the group is overshoot
+                }
+            }
+        }
+    }
+
+    /// Decoupled-mode decode: FAQ-predicted instructions flow through;
+    /// proxy (BTB-miss) blocks get their decisions here, resteering the
+    /// whole DCF on a taken branch — the misfetch loop of §III-C.
+    fn decode_decoupled(
+        &mut self,
+        prog: &Program,
+        group: &FetchGroup,
+        cycle: Cycle,
+        out: &mut TickOutput,
+    ) {
+        for gi in &group.insts {
+            let sinst = prog.inst_or_nop(gi.pc);
+            let Some(kind) = sinst.branch_kind() else {
+                self.deliver_one(prog, gi.pc, None, FetchMode::Decoupled, cycle, out);
+                continue;
+            };
+            if let Some(p) = gi.pred {
+                // Tracked by the BTB: prediction came from BP1; train later
+                // with the exact predict-time history snapshot.
+                if let Some(h) = gi.hist {
+                    self.stash_snapshot(h);
+                }
+                // Maintain the coupled RAS in decoupled mode too (§IV-D2).
+                self.update_cpl_ras(kind, gi.pc, p.target);
+                self.deliver_one(prog, gi.pc, Some(p), FetchMode::Decoupled, cycle, out);
+                continue;
+            }
+            if !gi.proxy {
+                // Inside a BTB-covered block but untracked: a never-taken
+                // conditional (no slot, §III-A). Static not-taken.
+                let p = Prediction::not_taken();
+                self.update_cpl_ras(kind, gi.pc, None);
+                self.deliver_one(prog, gi.pc, Some(p), FetchMode::Decoupled, cycle, out);
+                continue;
+            }
+            // Proxy block: Decode makes the call and resteers (misfetch).
+            let (pred, extra) = self.consult_main_predictors(gi.pc, kind, sinst.target);
+            self.update_cpl_ras(kind, gi.pc, pred.target);
+            self.deliver_one(prog, gi.pc, Some(pred), FetchMode::Decoupled, cycle, out);
+            if pred.taken {
+                if let Some(t) = pred.target {
+                    self.stats.decode_resteers += 1;
+                    self.resteer_frontend_decode(t, cycle, extra);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Coupled-mode decode (ELF): the variant's coupled predictors make the
+    /// control-flow decisions; anything unpredictable stalls until the DCF
+    /// catches up.
+    fn decode_coupled(
+        &mut self,
+        prog: &Program,
+        group: &FetchGroup,
+        cycle: Cycle,
+        out: &mut TickOutput,
+    ) {
+        let variant = self.elf_variant().expect("coupled groups only exist under ELF");
+        for gi in &group.insts {
+            let sinst = prog.inst_or_nop(gi.pc);
+            let Some(kind) = sinst.branch_kind() else {
+                if self.mode == FetchMode::Decoupled {
+                    let _ = self.leftover_preds.pop_front();
+                }
+                self.deliver_one(prog, gi.pc, None, FetchMode::Coupled, cycle, out);
+                self.dcc += 1;
+                self.div.record_coupled(
+                    VecSlot { taken: false, branch: false },
+                    self.fid_next,
+                    gi.pc,
+                    None,
+                );
+                continue;
+            };
+
+            // Post-switch leftovers: prediction already known from the FAQ,
+            // handed off positionally at switch time.
+            if self.mode == FetchMode::Decoupled {
+                let pred = self
+                    .leftover_preds
+                    .pop_front()
+                    .flatten()
+                    .unwrap_or_else(Prediction::not_taken);
+                self.update_cpl_ras(kind, gi.pc, pred.target);
+                self.deliver_one(prog, gi.pc, Some(pred), FetchMode::Coupled, cycle, out);
+                self.record_coupled_for_pred(prog, gi.pc, &pred, out);
+                if pred.taken {
+                    // The rest of this group — and any following coupled
+                    // groups — are sequential overshoot past a taken branch.
+                    while matches!(self.groups.front(), Some(g) if g.mode == FetchMode::Coupled)
+                    {
+                        self.groups.pop_front();
+                    }
+                    self.leftover_preds.clear();
+                    return;
+                }
+                continue;
+            }
+
+            let decision = self.coupled_decision(variant, gi.pc, kind, sinst.target);
+            match decision {
+                CoupledDecision::Stall => {
+                    // Discard the branch and everything younger; roll the
+                    // fetch coupled count back to the delivered count
+                    // (Fig. 5 rollback arithmetic).
+                    self.stall = Some(StalledBranch {
+                        pc: gi.pc,
+                        kind,
+                        static_target: sinst.target,
+                    });
+                    self.stats.coupled_stalls += 1;
+                    self.groups.clear();
+                    self.fcc = self.dcc;
+                    self.coupled_pc = gi.pc; // refetch target decided later
+                    return;
+                }
+                CoupledDecision::Deliver(pred) => {
+                    self.update_cpl_ras(kind, gi.pc, pred.target);
+                    self.deliver_one(prog, gi.pc, Some(pred), FetchMode::Coupled, cycle, out);
+                    self.dcc += 1;
+                    self.record_coupled_for_pred(prog, gi.pc, &pred, out);
+                    if pred.taken {
+                        if let Some(t) = pred.target {
+                            // Resteer coupled fetch; discard overshoot.
+                            self.groups.clear();
+                            self.fcc = self.dcc;
+                            self.coupled_pc = t;
+                            self.fe_busy = self.fe_busy.max(cycle + 1);
+                            // If the DCF is blindly streaming a proxy path,
+                            // resteer it right away (the decode-resteer it
+                            // would get in plain DCF mode) instead of
+                            // waiting for the bitvectors to flag it.
+                            let head_is_proxy = matches!(
+                                self.faq.head(cycle),
+                                Some(h) if h.term == FaqTermination::BtbMiss
+                            );
+                            if head_is_proxy {
+                                self.stats.decode_resteers += 1;
+                                self.coupled_restart_dcf(t, cycle, 0);
+                            } else {
+                                self.check_divergence(prog, cycle, out);
+                            }
+                            return;
+                        }
+                    }
+                    self.check_divergence(prog, cycle, out);
+                    if out.squash.is_some() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records the coupled-side divergence slot for a just-delivered branch.
+    fn record_coupled_for_pred(
+        &mut self,
+        prog: &Program,
+        pc: Addr,
+        pred: &Prediction,
+        _out: &mut TickOutput,
+    ) {
+        let kind = prog.inst_or_nop(pc).branch_kind();
+        let (slot, tq) = if pred.taken {
+            (
+                VecSlot { taken: true, branch: true },
+                kind.map(|k| TargetSlot { kind: k, target: pred.target.unwrap_or(0) }),
+            )
+        } else {
+            (VecSlot { taken: false, branch: false }, None)
+        };
+        self.div.record_coupled(slot, self.fid_next, pc, tq);
+    }
+
+    /// The coupled fetcher's decision for a decoded branch (paper §IV-C1).
+    fn coupled_decision(
+        &mut self,
+        variant: ElfVariant,
+        pc: Addr,
+        kind: BranchKind,
+        static_target: Option<Addr>,
+    ) -> CoupledDecision {
+        match kind {
+            // Direct unconditionals are not control-flow *decisions*: even
+            // L-ELF follows them via the Decode resteer (§IV-B).
+            BranchKind::UncondDirect | BranchKind::Call => CoupledDecision::Deliver(Prediction {
+                taken: true,
+                target: static_target,
+                source: PredSource::DecodedTarget,
+            }),
+            BranchKind::Return => {
+                if variant.predicts_returns() {
+                    match self.cpl_ras.peek() {
+                        Some(t) => {
+                            self.stats.cpl_ras_preds += 1;
+                            CoupledDecision::Deliver(Prediction {
+                                taken: true,
+                                target: Some(t),
+                                source: PredSource::CoupledRas,
+                            })
+                        }
+                        None => CoupledDecision::Stall,
+                    }
+                } else {
+                    CoupledDecision::Stall
+                }
+            }
+            BranchKind::IndirectJump | BranchKind::IndirectCall => {
+                if variant.predicts_indirects() {
+                    match self.cpl_btc.predict(pc) {
+                        Some(t) => {
+                            self.stats.cpl_btc_preds += 1;
+                            CoupledDecision::Deliver(Prediction {
+                                taken: true,
+                                target: Some(t),
+                                source: PredSource::CoupledBtc,
+                            })
+                        }
+                        None => CoupledDecision::Stall,
+                    }
+                } else {
+                    CoupledDecision::Stall
+                }
+            }
+            BranchKind::CondDirect => {
+                if variant.predicts_conditionals() {
+                    let (taken, saturated) = self.cpl_cond.predict(pc, self.retired_hist);
+                    if self.cfg.cond_requires_saturation && !saturated {
+                        CoupledDecision::Stall
+                    } else {
+                        self.stats.cpl_bimodal_preds += 1;
+                        CoupledDecision::Deliver(Prediction {
+                            taken,
+                            target: taken.then_some(static_target).flatten(),
+                            source: PredSource::CoupledBimodal,
+                        })
+                    }
+                } else {
+                    CoupledDecision::Stall
+                }
+            }
+        }
+    }
+
+    /// Full-predictor consult used by NoDCF decode and BTB-miss proxy
+    /// blocks. Returns the prediction and extra redirect bubbles.
+    fn consult_main_predictors(
+        &mut self,
+        pc: Addr,
+        kind: BranchKind,
+        static_target: Option<Addr>,
+    ) -> (Prediction, u32) {
+        match kind {
+            BranchKind::CondDirect => {
+                let hist = self.spec_hist;
+                let p = self.tage.predict_with_hist(pc, hist);
+                self.snapshots.insert(self.fid_next + 1, hist);
+                self.spec_hist = (self.spec_hist << 1) | u128::from(p.taken);
+                (
+                    Prediction {
+                        taken: p.taken,
+                        target: p.taken.then_some(static_target).flatten(),
+                        source: if p.provider.is_some() {
+                            PredSource::TageTagged
+                        } else {
+                            PredSource::Bimodal
+                        },
+                    },
+                    0,
+                )
+            }
+            BranchKind::UncondDirect | BranchKind::Call => {
+                if kind == BranchKind::Call {
+                    self.ras.push(pc + INST_BYTES);
+                }
+                (
+                    Prediction {
+                        taken: true,
+                        target: static_target,
+                        source: PredSource::DecodedTarget,
+                    },
+                    0,
+                )
+            }
+            BranchKind::Return => {
+                let t = self.ras.pop();
+                // Paper §III-C: resteer for returns stalls one extra cycle
+                // while the DCF RAS is accessed.
+                (Prediction { taken: true, target: t, source: PredSource::Ras }, 1)
+            }
+            BranchKind::IndirectJump | BranchKind::IndirectCall => {
+                let hist = self.spec_hist;
+                let (t, src, extra) = match self.btc.predict(pc) {
+                    Some(t) => (Some(t), PredSource::BranchTargetCache, 0),
+                    None => (
+                        self.ittage.predict_with_hist(pc, hist),
+                        PredSource::Ittage,
+                        self.cfg.ittage_bubbles,
+                    ),
+                };
+                self.snapshots.insert(self.fid_next + 1, hist);
+                if kind == BranchKind::IndirectCall {
+                    self.ras.push(pc + INST_BYTES);
+                }
+                (Prediction { taken: true, target: t, source: src }, extra)
+            }
+        }
+    }
+
+    fn update_cpl_ras(&mut self, kind: BranchKind, pc: Addr, pred_target: Option<Addr>) {
+        // The coupled RAS is updated in both modes (§IV-D2).
+        if kind.is_call() {
+            self.cpl_ras.push(pc + INST_BYTES);
+        } else if kind.is_return() {
+            let _ = self.cpl_ras.pop();
+        }
+        let _ = pred_target;
+    }
+
+    fn deliver_one(
+        &mut self,
+        prog: &Program,
+        pc: Addr,
+        pred: Option<Prediction>,
+        mode: FetchMode,
+        cycle: Cycle,
+        out: &mut TickOutput,
+    ) {
+        let fid = self.next_fid();
+        let sinst = prog.inst_or_nop(pc);
+        if sinst.class.is_branch() && !self.snapshots.contains_key(&fid) {
+            // Tracked branches get their BP1-time snapshot; everything else
+            // falls back to the current speculative history.
+            self.snapshots.insert(fid, self.spec_hist);
+        }
+        if let Some(fc) = self.pending_resteer_cycle.take() {
+            self.stats.resteer_latency_sum += cycle.saturating_sub(fc);
+            self.stats.resteer_latency_count += 1;
+        }
+        if mode == FetchMode::Coupled && self.arch.has_dcf() {
+            self.stats.delivered_coupled += 1;
+            self.cpl_next_pc = pred
+                .filter(|p| p.taken)
+                .and_then(|p| p.target)
+                .unwrap_or(pc + INST_BYTES);
+        }
+        self.stats.delivered += 1;
+        out.delivered.push(DeliveredInst {
+            fid,
+            inst: FetchedInst {
+                sinst,
+                oracle_seq: None,
+                wrong_path: false,
+                mode,
+                pred,
+                fetch_cycle: cycle,
+            },
+        });
+    }
+
+    /// Stores the FAQ-carried predict-time history snapshot for a tracked
+    /// branch about to be delivered.
+    fn stash_snapshot(&mut self, hist: u128) {
+        self.snapshots.insert(self.fid_next + 1, hist);
+    }
+
+    fn resteer_fetch_nodcf(&mut self, target: Addr, cycle: Cycle, extra_bubbles: u32) {
+        self.groups.clear();
+        self.coupled_pc = target;
+        self.fe_busy = self.fe_busy.max(cycle + 1 + u64::from(extra_bubbles));
+    }
+
+    /// Decode-driven front-end resteer after a misfetch (BTB miss). DCF
+    /// pays the full Decode→BP1 loop; ELF short-circuits it by entering
+    /// coupled mode (§IV-A).
+    fn resteer_frontend_decode(&mut self, target: Addr, cycle: Cycle, extra_bubbles: u32) {
+        self.groups.clear();
+        self.faq.flush();
+        self.dcf_pc = target;
+        self.dcf_busy = cycle + 1 + u64::from(extra_bubbles);
+        self.fe_busy = self.fe_busy.max(cycle + 1 + u64::from(extra_bubbles));
+        match self.arch {
+            FetchArch::Elf(_) => self.enter_coupled(target, cycle),
+            _ => {
+                self.mode = FetchMode::Decoupled;
+            }
+        }
+    }
+
+    /// Builds a BTB-entry-shaped block by pre-decoding resident L0I data
+    /// (the Boomerang-lite path of `btb_miss_probe`).
+    fn predecode_entry(prog: &Program, start: Addr) -> BtbEntry {
+        let mut e = BtbEntry::new(start, MAX_BLOCK_INSTS as u8);
+        let mut count = MAX_BLOCK_INSTS as u8;
+        for off in 0..MAX_BLOCK_INSTS as u8 {
+            let inst = prog.inst_or_nop(seq_pc(start, off as usize));
+            if let Some(k) = inst.branch_kind() {
+                if !e.add_branch(BtbBranch { offset: off, kind: k, target: inst.target }) {
+                    count = off;
+                    break;
+                }
+                if k.is_unconditional() {
+                    count = off + 1;
+                    break;
+                }
+            }
+        }
+        e.inst_count = count.max(1);
+        e
+    }
+
+    /// FAQ-driven instruction prefetch (Table II): on L0I idle cycles, walk
+    /// queued fetch addresses oldest-to-youngest and prefetch lines not yet
+    /// resident (the memory system enforces the 4-in-flight limit).
+    fn issue_prefetches(&mut self, mem: &mut MemorySystem, cycle: Cycle) {
+        let mut candidates: Vec<Addr> = Vec::new();
+        for e in self.faq.iter().skip(1).take(8) {
+            let line = e.start_pc & !63;
+            if !mem.l0i_has(line) {
+                candidates.push(line);
+                let end_line = (e.end_pc() - INST_BYTES) & !63;
+                if end_line != line {
+                    candidates.push(end_line);
+                }
+            }
+        }
+        for a in candidates {
+            if mem.prefetch_inst(a, cycle) {
+                self.stats.faq_prefetches += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Back-end interface
+    // ------------------------------------------------------------------
+
+    /// Full pipeline flush from the back-end (misprediction, RAW hazard,
+    /// watchdog). Restores speculative predictor state and restarts fetch.
+    pub fn flush(&mut self, ctx: &FlushCtx<'_>, cycle: Cycle) {
+        self.stats.backend_resteers += 1;
+        self.pending_resteer_cycle = Some(cycle);
+        self.groups.clear();
+        self.faq.flush();
+        self.stall = None;
+        self.div.reset();
+        self.leftover_preds.clear();
+
+        // History repair: retired history extended by the resolved outcomes
+        // of surviving in-flight branches (exact, §IV-D realized in
+        // simulator form).
+        self.spec_hist = self.retired_hist;
+        for &bit in ctx.hist_replay {
+            self.spec_hist = (self.spec_hist << 1) | u128::from(bit);
+        }
+        self.snapshots.retain(|&fid, _| fid <= ctx.boundary_fid);
+
+        // RAS repair: architectural stack plus in-flight replay.
+        self.ras = self.retire_ras.clone();
+        self.cpl_ras = self.retire_ras.clone();
+        for op in ctx.ras_replay {
+            match *op {
+                RasOp::Push(ra) => {
+                    self.ras.push(ra);
+                    self.cpl_ras.push(ra);
+                }
+                RasOp::Pop => {
+                    let _ = self.ras.pop();
+                    let _ = self.cpl_ras.pop();
+                }
+            }
+        }
+
+        self.dcf_pc = ctx.restart_pc;
+        self.dcf_busy = cycle + 1;
+        self.fe_busy = cycle + 1;
+        match self.arch {
+            FetchArch::NoDcf => {
+                self.coupled_pc = ctx.restart_pc;
+            }
+            FetchArch::Dcf => {
+                self.mode = FetchMode::Decoupled;
+            }
+            FetchArch::Elf(_) => {
+                self.enter_coupled(ctx.restart_pc, cycle);
+            }
+        }
+    }
+
+    /// Feeds one retired instruction back: BTB establishment (§III-A),
+    /// predictor training, architectural RAS/history updates.
+    pub fn retire(&mut self, info: &RetireInfo) {
+        self.last_retired_fid = info.fid;
+        // BTB establishment at retirement.
+        for entry in self.btb_builder.on_retire(info.pc, info.kind, info.taken, info.static_target)
+        {
+            self.btb.install(entry);
+        }
+        let Some(kind) = info.kind else {
+            return;
+        };
+
+        // Coupled-mode branches were predicted by history-free coupled
+        // predictors; their stashed snapshot is the (stale) DCF history, so
+        // train with the exact retired history instead.
+        let stashed = self.snapshots.remove(&info.fid);
+        let snapshot = if info.mode == FetchMode::Coupled {
+            self.retired_hist
+        } else {
+            stashed.unwrap_or(self.retired_hist)
+        };
+        match kind {
+            BranchKind::CondDirect => {
+                self.tage.train_with_hist(info.pc, info.taken, snapshot);
+                if info.mode == FetchMode::Coupled
+                    && self.elf_variant().is_some_and(ElfVariant::predicts_conditionals)
+                {
+                    // Coupled predictors train only on coupled-fetched
+                    // branches (§IV-D3).
+                    self.cpl_cond.train(info.pc, self.retired_hist, info.taken);
+                }
+            }
+            BranchKind::IndirectJump | BranchKind::IndirectCall => {
+                self.ittage.train_with_hist(info.pc, info.next_pc, snapshot);
+                self.btc.train(info.pc, info.next_pc);
+                if info.mode == FetchMode::Coupled
+                    && self.elf_variant().is_some_and(ElfVariant::predicts_indirects)
+                {
+                    self.cpl_btc.train(info.pc, info.next_pc);
+                }
+            }
+            _ => {}
+        }
+        // Architectural RAS and retired history.
+        if kind.is_call() {
+            self.retire_ras.push(info.pc + INST_BYTES);
+        } else if kind.is_return() {
+            let _ = self.retire_ras.pop();
+        }
+        if let Some(bit) = Self::history_bit(kind, info.taken, info.next_pc) {
+            self.retired_hist = (self.retired_hist << 1) | u128::from(bit);
+        }
+
+        // Bound the snapshot map: drop entries that already retired.
+        if self.snapshots.len() > 4096 {
+            let bound = self.last_retired_fid;
+            self.snapshots.retain(|&fid, _| fid > bound);
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CoupledDecision {
+    Deliver(Prediction),
+    Stall,
+}
+
+/// The coupled conditional predictor (paper bimodal, or the gshare
+/// extension). Gshare keys off the *retired* global history — the coupled
+/// fetcher has no speculative history of its own, and the retired register
+/// is what a small committed-state predictor would see.
+#[derive(Debug)]
+enum CoupledCond {
+    Bimodal(Bimodal),
+    Gshare(Gshare),
+}
+
+impl CoupledCond {
+    fn predict(&self, pc: Addr, retired_hist: u128) -> (bool, bool) {
+        match self {
+            CoupledCond::Bimodal(b) => {
+                let p = b.predict(pc);
+                (p.taken, p.saturated)
+            }
+            CoupledCond::Gshare(g) => {
+                let p = g.predict(pc, retired_hist as u64);
+                (p.taken, p.saturated)
+            }
+        }
+    }
+
+    fn train(&mut self, pc: Addr, retired_hist: u128, taken: bool) {
+        match self {
+            CoupledCond::Bimodal(b) => b.train(pc, taken),
+            CoupledCond::Gshare(g) => g.train(pc, retired_hist as u64, taken),
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Figure 2 as code: the BPred-PC generation bubble rules.
+//!
+//! Between two consecutive BPred-PC generations, the DCF inserts bubbles
+//! depending on which BTB level hit, how the block exits, and which
+//! predictor supplied the exit (paper §III-B / Fig. 2). This module states
+//! those rules as one pure function so they can be tested exhaustively;
+//! the BP1/BP2 engine calls it for every generated block.
+
+/// How a BTB-hit block exits (the slowest structure on the exit path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitClass {
+    /// Taken conditional whose direction came from the bimodal component —
+    /// fast enough to feed next-cycle generation on an L0 hit.
+    CondBimodal,
+    /// Taken conditional where a tagged TAGE component overrides the
+    /// bimodal: BP2 resteers BP1 (one bubble even on an L0 hit).
+    CondTaggedOverride,
+    /// Direct unconditional (jump/call): target read straight from the
+    /// entry.
+    DirectUncond,
+    /// Return predicted by the RAS (fast enough to hide on an L0 hit).
+    RasReturn,
+    /// Indirect predicted by the L0 branch target cache (one-bubble class).
+    IndirectBtc,
+    /// Indirect that fell through to the L1 ITTAGE (3-cycle access).
+    IndirectIttage,
+    /// No taken exit: the block sequences to its fall-through.
+    FallThrough {
+        /// Whether the entry tracks the maximum number of sequential
+        /// instructions. If not, the speculative PC+16 proxy access of the
+        /// next cycle was wrong — the "non-taken branch bubble" (§VI-A).
+        full_length: bool,
+    },
+}
+
+/// Bubbles inserted after generating a block that hit BTB level `level`
+/// (0, 1 or 2) and exits as `exit`. `ittage_bubbles` is the configured
+/// ITTAGE access penalty (Table II: 3).
+#[must_use]
+pub fn generation_bubbles(level: u8, exit: ExitClass, ittage_bubbles: u32) -> u32 {
+    // Base cost of the providing BTB level: the L0 feeds next-cycle
+    // generation; an L1 hit costs one bubble on any redirect; the L2 takes
+    // its full 3-cycle access.
+    let level_bubbles: u32 = match level {
+        0 => 0,
+        1 => 1,
+        _ => 3,
+    };
+    match exit {
+        ExitClass::FallThrough { full_length: true } => {
+            // The speculative proxy access at PC + max-insts was correct:
+            // generation continues un-bubbled at every level (the proxy
+            // access pipelines ahead).
+            0
+        }
+        ExitClass::FallThrough { full_length: false } => level_bubbles.max(1),
+        ExitClass::CondBimodal | ExitClass::DirectUncond | ExitClass::RasReturn => level_bubbles,
+        ExitClass::CondTaggedOverride => level_bubbles.max(1),
+        ExitClass::IndirectBtc => level_bubbles,
+        ExitClass::IndirectIttage => level_bubbles.max(ittage_bubbles),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ExitClass::*;
+
+    const IT: u32 = 3;
+
+    #[test]
+    fn l0_hits_generate_back_to_back_for_fast_exits() {
+        // §III-B: "an L0 BTB hit prevents any bubble from being inserted in
+        // BP1" for bimodal-provided conditionals, direct targets and RAS.
+        for exit in [CondBimodal, DirectUncond, RasReturn, IndirectBtc] {
+            assert_eq!(generation_bubbles(0, exit, IT), 0, "{exit:?}");
+        }
+    }
+
+    #[test]
+    fn tagged_override_costs_one_bubble_on_l0() {
+        // "if the tagged components of TAGE disagree with the bimodal, the
+        // prediction is overridden in BP2 and a bubble is inserted".
+        assert_eq!(generation_bubbles(0, CondTaggedOverride, IT), 1);
+        // On an L1 hit the bubble is subsumed by the level cost.
+        assert_eq!(generation_bubbles(1, CondTaggedOverride, IT), 1);
+    }
+
+    #[test]
+    fn l1_hits_cost_one_bubble_on_any_taken_exit() {
+        for exit in [CondBimodal, DirectUncond, RasReturn, IndirectBtc] {
+            assert_eq!(generation_bubbles(1, exit, IT), 1, "{exit:?}");
+        }
+    }
+
+    #[test]
+    fn l2_hits_cost_the_full_access() {
+        for exit in [CondBimodal, CondTaggedOverride, DirectUncond, RasReturn, IndirectBtc] {
+            assert_eq!(generation_bubbles(2, exit, IT), 3, "{exit:?}");
+        }
+    }
+
+    #[test]
+    fn ittage_fallback_costs_three_bubbles() {
+        // "a miss in the L0 predictor will cause three bubbles to be added".
+        assert_eq!(generation_bubbles(0, IndirectIttage, IT), 3);
+        assert_eq!(generation_bubbles(1, IndirectIttage, IT), 3);
+        assert_eq!(generation_bubbles(2, IndirectIttage, IT), 3);
+    }
+
+    #[test]
+    fn full_length_fallthrough_is_free_at_every_level() {
+        // The speculative PC+16 proxy access was correct (§III-B).
+        for level in 0..=2 {
+            assert_eq!(
+                generation_bubbles(level, FallThrough { full_length: true }, IT),
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn short_entry_fallthrough_pays_the_non_taken_bubble() {
+        // §VI-A degradation cause 3: a short entry makes the proxy
+        // fall-through address wrong even without a taken branch.
+        assert_eq!(generation_bubbles(0, FallThrough { full_length: false }, IT), 1);
+        assert_eq!(generation_bubbles(1, FallThrough { full_length: false }, IT), 1);
+        assert_eq!(generation_bubbles(2, FallThrough { full_length: false }, IT), 3);
+    }
+}

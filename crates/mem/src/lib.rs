@@ -1,0 +1,26 @@
+//! Cache hierarchy and memory model for the ELF simulator.
+//!
+//! Table II memory hierarchy:
+//!
+//! | Structure | Geometry | Latency |
+//! |-----------|----------|---------|
+//! | L0I | 24 KB, 3-way, 2-way set-interleaved, 64 B | 1 cycle |
+//! | L1I | 64 KB, 8-way, 64 B | 3 cycles |
+//! | L1D | 32 KB, 8-way, 64 B | 3 cycles load-to-use |
+//! | L2 (unified) | 512 KB, 8-way, 128 B | 13 cycles |
+//! | L3 (unified) | 16 MB, 16-way, 128 B | 35 cycles |
+//! | DRAM | — | 250 cycles |
+//!
+//! plus an advanced stride-based data prefetcher and FAQ-driven instruction
+//! prefetch support (issued by the front-end on L0I idle cycles, up to 4 in
+//! flight — modeled through [`MemorySystem::prefetch_inst`]).
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod prefetch;
+pub mod system;
+
+pub use cache::{Cache, CacheConfig};
+pub use prefetch::StridePrefetcher;
+pub use system::{MemConfig, MemStats, MemorySystem};

@@ -1,0 +1,184 @@
+//! Speculative-state checkpoint queue (paper §IV-D).
+//!
+//! Hardware repairs speculatively-updated predictor state (global history,
+//! RAS top-of-stack, ...) by checkpointing before each update and restoring
+//! the right checkpoint when an instruction flushes the pipeline. The paper
+//! leans on an AMD-Zen-style queue with head/tail pointers, and ELF adds
+//! the twist that coupled-mode instructions may *allocate* an entry whose
+//! payload is only *populated later*, when the covering FAQ block arrives
+//! (§IV-D1) — allowing them to flush as soon as the payload lands rather
+//! than waiting for the ROB head.
+//!
+//! The cycle-level simulator repairs state by exact replay (see DESIGN.md
+//! §10), which is the idealized behavior this structure implements in
+//! hardware; the queue is provided — and fully tested — as part of the
+//! library for users building checkpoint-accurate models on top.
+
+/// Identifier of an allocated checkpoint (monotonic, never reused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CheckpointId(u64);
+
+/// A bounded checkpoint queue holding payloads of type `T`.
+#[derive(Debug, Clone)]
+pub struct CheckpointQueue<T> {
+    entries: std::collections::VecDeque<(CheckpointId, Option<T>)>,
+    capacity: usize,
+    next_id: u64,
+}
+
+impl<T> CheckpointQueue<T> {
+    /// Creates a queue with room for `capacity` live checkpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        CheckpointQueue {
+            entries: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            next_id: 0,
+        }
+    }
+
+    /// Whether another checkpoint can be allocated. A full queue stalls
+    /// fetch in real designs.
+    #[must_use]
+    pub fn has_room(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Allocates a checkpoint, optionally with its payload. Coupled-mode
+    /// allocations pass `None` and fill the payload later
+    /// ([`CheckpointQueue::populate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full (check [`CheckpointQueue::has_room`]).
+    pub fn allocate(&mut self, payload: Option<T>) -> CheckpointId {
+        assert!(self.has_room(), "checkpoint queue overflow");
+        let id = CheckpointId(self.next_id);
+        self.next_id += 1;
+        self.entries.push_back((id, payload));
+        id
+    }
+
+    /// Fills the payload of a previously-allocated checkpoint (the
+    /// FAQ-catches-up path of §IV-D1). Returns `false` if the checkpoint is
+    /// no longer live.
+    pub fn populate(&mut self, id: CheckpointId, payload: T) -> bool {
+        match self.entries.iter_mut().find(|(i, _)| *i == id) {
+            Some((_, slot)) => {
+                *slot = Some(payload);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the checkpoint is live and its payload present — only then
+    /// can the owning instruction trigger an early flush (§IV-D1).
+    #[must_use]
+    pub fn can_restore(&self, id: CheckpointId) -> bool {
+        self.entries
+            .iter()
+            .any(|(i, p)| *i == id && p.is_some())
+    }
+
+    /// Restores to `id`: returns its payload by reference and discards every
+    /// *younger* checkpoint (they belong to squashed instructions).
+    /// Returns `None` if the checkpoint is not live or not yet populated.
+    pub fn restore(&mut self, id: CheckpointId) -> Option<&T> {
+        let pos = self.entries.iter().position(|(i, _)| *i == id)?;
+        self.entries.truncate(pos + 1);
+        self.entries[pos].1.as_ref()
+    }
+
+    /// Frees checkpoints up to and including `id` (their owners retired).
+    pub fn release_through(&mut self, id: CheckpointId) {
+        while let Some((front, _)) = self.entries.front() {
+            if *front > id {
+                break;
+            }
+            self.entries.pop_front();
+        }
+    }
+
+    /// Live checkpoints.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no checkpoints are live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_populate_restore_roundtrip() {
+        let mut q: CheckpointQueue<u64> = CheckpointQueue::new(8);
+        let a = q.allocate(Some(0xAAA));
+        let b = q.allocate(None);
+        let c = q.allocate(Some(0xCCC));
+        assert!(q.can_restore(a));
+        assert!(!q.can_restore(b), "late-populated entry not restorable yet");
+        assert!(q.populate(b, 0xBBB));
+        assert!(q.can_restore(b));
+        // Restoring to b discards c.
+        assert_eq!(q.restore(b), Some(&0xBBB));
+        assert_eq!(q.len(), 2);
+        assert!(!q.can_restore(c), "younger checkpoints die on restore");
+        assert_eq!(q.restore(a), Some(&0xAAA));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn release_frees_retired_prefix() {
+        let mut q: CheckpointQueue<u8> = CheckpointQueue::new(4);
+        let a = q.allocate(Some(1));
+        let b = q.allocate(Some(2));
+        let c = q.allocate(Some(3));
+        q.release_through(b);
+        assert!(!q.can_restore(a));
+        assert!(!q.can_restore(b));
+        assert!(q.can_restore(c));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn capacity_stalls_allocation() {
+        let mut q: CheckpointQueue<u8> = CheckpointQueue::new(2);
+        let _ = q.allocate(Some(1));
+        let _ = q.allocate(Some(2));
+        assert!(!q.has_room());
+        let a = q.entries.front().map(|(i, _)| *i).expect("non-empty");
+        q.release_through(a);
+        assert!(q.has_room());
+    }
+
+    #[test]
+    fn populate_on_dead_checkpoint_fails() {
+        let mut q: CheckpointQueue<u8> = CheckpointQueue::new(4);
+        let a = q.allocate(Some(1));
+        let b = q.allocate(None);
+        assert_eq!(q.restore(a), Some(&1)); // kills b
+        assert!(!q.populate(b, 9));
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut q: CheckpointQueue<u8> = CheckpointQueue::new(2);
+        let a = q.allocate(Some(1));
+        q.release_through(a);
+        let b = q.allocate(Some(2));
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,347 @@
+//! ITTAGE indirect target predictor (Seznec, CBP-3 2011).
+//!
+//! The L1 indirect predictor of Table II (3-cycle access, consulted when the
+//! L0 branch target cache misses). Tagged tables over geometric history
+//! lengths hold full targets plus a confidence counter; a PC-indexed base
+//! table provides the fallback target.
+
+use crate::history::HistoryRegister;
+use elf_types::Addr;
+
+/// Geometry of an [`Ittage`] predictor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IttageConfig {
+    /// log2 entries per tagged table.
+    pub table_bits: u8,
+    /// Tag width in bits.
+    pub tag_bits: u8,
+    /// History length per tagged table.
+    pub hist_lens: Vec<u16>,
+    /// log2 entries of the PC-indexed base table.
+    pub base_bits: u8,
+}
+
+impl IttageConfig {
+    /// The Table II configuration: 4 tagged tables, 32 KB class.
+    #[must_use]
+    pub fn paper() -> Self {
+        IttageConfig { table_bits: 9, tag_bits: 11, hist_lens: vec![8, 24, 64, 128], base_bits: 10 }
+    }
+
+    /// Small configuration for unit tests.
+    #[must_use]
+    pub fn tiny() -> Self {
+        IttageConfig { table_bits: 6, tag_bits: 9, hist_lens: vec![4, 12, 32], base_bits: 7 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct IttageEntry {
+    tag: u16,
+    target: Addr,
+    conf: u8, // 0..=3
+    u: u8,    // 0..=3
+}
+
+/// The ITTAGE predictor. Keeps separate speculative and retirement
+/// histories (see crate docs).
+#[derive(Debug, Clone)]
+pub struct Ittage {
+    cfg: IttageConfig,
+    base: Vec<Addr>,
+    tables: Vec<Vec<IttageEntry>>,
+    spec_hist: HistoryRegister,
+    retire_hist: HistoryRegister,
+    lfsr: u32,
+}
+
+impl Ittage {
+    /// Creates a predictor with the given geometry.
+    #[must_use]
+    pub fn new(cfg: IttageConfig) -> Self {
+        Ittage {
+            base: vec![0; 1 << cfg.base_bits],
+            tables: cfg
+                .hist_lens
+                .iter()
+                .map(|_| vec![IttageEntry::default(); 1 << cfg.table_bits])
+                .collect(),
+            spec_hist: HistoryRegister::new(),
+            retire_hist: HistoryRegister::new(),
+            lfsr: 0xb0b1,
+            cfg,
+        }
+    }
+
+    /// The paper configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        Ittage::new(IttageConfig::paper())
+    }
+
+    fn index(&self, pc: Addr, t: usize, hist: &HistoryRegister) -> usize {
+        let folded = hist.fold(self.cfg.hist_lens[t], self.cfg.table_bits);
+        let mask = (1u64 << self.cfg.table_bits) - 1;
+        (((pc >> 2) ^ (pc >> 9) ^ folded ^ ((t as u64) << 2)) & mask) as usize
+    }
+
+    fn tag(&self, pc: Addr, t: usize, hist: &HistoryRegister) -> u16 {
+        let f = hist.fold(self.cfg.hist_lens[t], self.cfg.tag_bits);
+        let mask = (1u64 << self.cfg.tag_bits) - 1;
+        (((pc >> 2) ^ (pc >> 7) ^ f.rotate_left(3)) & mask) as u16
+    }
+
+    fn base_index(&self, pc: Addr) -> usize {
+        (((pc >> 2) ^ (pc >> 11)) & ((1 << self.cfg.base_bits) - 1)) as usize
+    }
+
+    fn lookup(&self, pc: Addr, hist: &HistoryRegister) -> (Addr, Option<usize>) {
+        for t in (0..self.tables.len()).rev() {
+            let e = &self.tables[t][self.index(pc, t, hist)];
+            if e.tag == self.tag(pc, t, hist) && e.target != 0 {
+                return (e.target, Some(t));
+            }
+        }
+        (self.base[self.base_index(pc)], None)
+    }
+
+    /// Predicts the target of the indirect branch at `pc` using speculative
+    /// history. Returns `None` when no component has any target yet.
+    #[must_use]
+    pub fn predict(&self, pc: Addr) -> Option<Addr> {
+        let (t, _) = self.lookup(pc, &self.spec_hist);
+        (t != 0).then_some(t)
+    }
+
+    /// Predicts with an externally-owned history register.
+    #[must_use]
+    pub fn predict_with_hist(&self, pc: Addr, hist: u128) -> Option<Addr> {
+        let mut h = HistoryRegister::new();
+        h.set(hist);
+        let (t, _) = self.lookup(pc, &h);
+        (t != 0).then_some(t)
+    }
+
+    /// Trains with the exact predict-time history snapshot. Does not touch
+    /// the internal histories.
+    pub fn train_with_hist(&mut self, pc: Addr, target: Addr, hist: u128) {
+        let saved = self.retire_hist;
+        let mut h = HistoryRegister::new();
+        h.set(hist);
+        self.retire_hist = h;
+        // `train` pushes the retirement history; the push lands on the
+        // scratch register and is discarded by the restore below.
+        self.train(pc, target, false);
+        self.retire_hist = saved;
+    }
+
+    /// Pushes speculative history (call for every predicted branch: taken
+    /// bit for conditionals, target bits for indirects).
+    pub fn spec_push(&mut self, bit: bool) {
+        self.spec_hist.push(bit);
+    }
+
+    /// Speculative history bits (flush-repair bookkeeping).
+    #[must_use]
+    pub fn spec_bits(&self) -> u128 {
+        self.spec_hist.bits()
+    }
+
+    /// Overwrites speculative history (flush repair).
+    pub fn spec_set(&mut self, bits: u128) {
+        self.spec_hist.set(bits);
+    }
+
+    fn rand1(&mut self) -> u32 {
+        let bit = (self.lfsr ^ (self.lfsr >> 2) ^ (self.lfsr >> 3) ^ (self.lfsr >> 5)) & 1;
+        self.lfsr = (self.lfsr >> 1) | (bit << 15);
+        self.lfsr & 1
+    }
+
+    /// Trains on a retired indirect branch with its resolved `target`, then
+    /// advances the retirement history by `hist_bit`.
+    pub fn train(&mut self, pc: Addr, target: Addr, hist_bit: bool) {
+        let hist = self.retire_hist;
+        let (pred, provider) = self.lookup(pc, &hist);
+
+        match provider {
+            Some(t) => {
+                let i = self.index(pc, t, &hist);
+                let e = &mut self.tables[t][i];
+                if e.target == target {
+                    e.conf = (e.conf + 1).min(3);
+                    e.u = (e.u + 1).min(3);
+                } else {
+                    if e.conf == 0 {
+                        e.target = target;
+                    }
+                    e.conf = e.conf.saturating_sub(1);
+                    e.u = e.u.saturating_sub(1);
+                }
+            }
+            None => {
+                let bi = self.base_index(pc);
+                self.base[bi] = target;
+            }
+        }
+
+        if pred != target {
+            // Allocate in a longer-history table.
+            let start = provider.map_or(0, |t| t + 1);
+            let skip = self.rand1() as usize;
+            let mut allocated = false;
+            for t in (start + skip)..self.tables.len() {
+                let i = self.index(pc, t, &hist);
+                if self.tables[t][i].u == 0 {
+                    self.tables[t][i] = IttageEntry {
+                        tag: self.tag(pc, t, &hist),
+                        target,
+                        conf: 1,
+                        u: 0,
+                    };
+                    allocated = true;
+                    break;
+                }
+            }
+            if !allocated {
+                for t in start..self.tables.len() {
+                    let i = self.index(pc, t, &hist);
+                    self.tables[t][i].u = self.tables[t][i].u.saturating_sub(1);
+                }
+            }
+        }
+
+        self.retire_hist.push(hist_bit);
+    }
+
+    /// Canonical history bit contributed by a resolved indirect target:
+    /// the parity of its significant address bits. Using parity (rather
+    /// than a single low bit) keeps the history informative even when all
+    /// targets share alignment.
+    #[must_use]
+    pub fn target_bit(target: Addr) -> bool {
+        ((target >> 2).count_ones() & 1) == 1
+    }
+
+    /// Storage cost in bits (tag + 48-bit target + conf + u per entry).
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        let per = self.cfg.tag_bits as usize + 48 + 2 + 2;
+        self.tables.len() * (1 << self.cfg.table_bits) * per
+            + (1 << self.cfg.base_bits) * 48
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(
+        it: &mut Ittage,
+        pc: Addr,
+        targets: impl Iterator<Item = Addr>,
+        warmup: usize,
+    ) -> f64 {
+        let mut miss = 0u64;
+        let mut total = 0u64;
+        for (i, t) in targets.enumerate() {
+            let p = it.predict(pc);
+            if i >= warmup {
+                total += 1;
+                if p != Some(t) {
+                    miss += 1;
+                }
+            }
+            let bit = Ittage::target_bit(t);
+            it.spec_push(bit);
+            it.train(pc, t, bit);
+        }
+        miss as f64 / total.max(1) as f64
+    }
+
+    #[test]
+    fn learns_monomorphic_target() {
+        let mut it = Ittage::new(IttageConfig::tiny());
+        let rate = run(&mut it, 0x100, (0..500).map(|_| 0xbeef0u64), 10);
+        assert!(rate < 0.01, "mono miss rate {rate}");
+    }
+
+    #[test]
+    fn learns_round_robin_targets() {
+        let mut it = Ittage::new(IttageConfig::tiny());
+        let tgts = [0x1000u64, 0x2000, 0x3000];
+        let rate = run(&mut it, 0x200, (0..6000).map(|i| tgts[i % 3]), 1000);
+        assert!(rate < 0.25, "round-robin miss rate {rate}");
+    }
+
+    #[test]
+    fn history_correlated_targets_beat_base_table() {
+        // Target = f(last 2 history bits): pure function of history.
+        let tgts = [0x10_000u64, 0x20_000, 0x30_000, 0x40_000];
+        let mut it = Ittage::new(IttageConfig::tiny());
+        let mut hist2: usize = 0;
+        let mut miss = 0;
+        let mut total = 0;
+        let mut x: u64 = 7;
+        for i in 0..8000 {
+            let t = tgts[hist2 & 3];
+            let p = it.predict(0x300);
+            if i > 2000 {
+                total += 1;
+                if p != Some(t) {
+                    miss += 1;
+                }
+            }
+            let bit = (t >> 2) & 1 == 1;
+            // Wait: bit of target at >>2 — all our targets have the same
+            // low bits; drive history from a pseudo-random conditional
+            // stream instead, so hist2 evolves.
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let cond_bit = (x >> 40) & 1 == 1;
+            it.spec_push(cond_bit);
+            it.train(0x300, t, cond_bit);
+            let _ = bit;
+            hist2 = ((hist2 << 1) | usize::from(cond_bit)) & 3;
+        }
+        let rate = miss as f64 / total as f64;
+        assert!(rate < 0.2, "history-correlated target miss rate {rate}");
+    }
+
+    #[test]
+    fn distinct_branches_coexist() {
+        let mut it = Ittage::new(IttageConfig::tiny());
+        for _ in 0..200 {
+            it.train(0x400, 0xaaa0, false);
+            it.train(0x500, 0xbbb0, false);
+        }
+        assert_eq!(it.predict(0x400), Some(0xaaa0));
+        assert_eq!(it.predict(0x500), Some(0xbbb0));
+    }
+
+    #[test]
+    fn cold_predictor_returns_none() {
+        let it = Ittage::new(IttageConfig::tiny());
+        assert_eq!(it.predict(0x600), None);
+    }
+
+    #[test]
+    fn spec_restore_roundtrips() {
+        let mut it = Ittage::new(IttageConfig::tiny());
+        for i in 0..50 {
+            it.train(0x700, 0x1230, i % 2 == 0);
+            it.spec_push(i % 2 == 0);
+        }
+        let saved = it.spec_bits();
+        let before = it.predict(0x700);
+        it.spec_push(true);
+        it.spec_push(false);
+        it.spec_set(saved);
+        assert_eq!(it.predict(0x700), before);
+    }
+
+    #[test]
+    fn paper_config_is_32kb_class() {
+        let kb = Ittage::paper().storage_bits() as f64 / 8192.0;
+        assert!((10.0..=40.0).contains(&kb), "ITTAGE storage {kb} KB");
+    }
+}

@@ -1,0 +1,41 @@
+//! Branch-prediction structures for the ELF front-end simulator.
+//!
+//! This crate implements the complete prediction infrastructure of Table II:
+//!
+//! * [`tage::Tage`] — the decoupled 32 KB-class TAGE conditional predictor
+//!   (8 tagged tables over geometric history lengths plus a bimodal base);
+//! * [`ittage::Ittage`] — the L1 indirect target predictor (3-cycle);
+//! * [`btc::BranchTargetCache`] — the 64-entry direct-mapped L0 indirect
+//!   target cache (12-bit tags, 1-cycle);
+//! * [`ras::Ras`] — 32-entry return address stacks (decoupled and coupled);
+//! * [`bimodal::Bimodal`] — the 2K-entry, 3-bit coupled predictor used by
+//!   COND-ELF and U-ELF, with the saturation filter of §VI-B.
+//!
+//! ## Speculative vs. retire state
+//!
+//! Every history-based predictor keeps **two** history registers: the
+//! *speculative* one, pushed as predictions are made in the front-end and
+//! restored on pipeline flushes, and the *retirement* one, pushed only as
+//! branches retire and used to compute table indices for training. This is
+//! the standard simulator realization of checkpoint-based history repair
+//! (paper §IV-D); see DESIGN.md §10 for the fidelity discussion.
+
+#![warn(missing_docs)]
+
+pub mod bimodal;
+pub mod btc;
+pub mod checkpoint;
+pub mod gshare;
+pub mod history;
+pub mod ittage;
+pub mod ras;
+pub mod tage;
+
+pub use bimodal::Bimodal;
+pub use checkpoint::{CheckpointId, CheckpointQueue};
+pub use gshare::Gshare;
+pub use btc::BranchTargetCache;
+pub use history::HistoryRegister;
+pub use ittage::Ittage;
+pub use ras::Ras;
+pub use tage::{Tage, TageConfig, TagePrediction};

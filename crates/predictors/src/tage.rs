@@ -1,0 +1,451 @@
+//! TAGE conditional branch predictor (Seznec, MICRO 2011).
+//!
+//! The decoupled conditional predictor of Table II: a bimodal base plus 8
+//! partially-tagged tables indexed by geometrically-increasing global
+//! history lengths. The front-end needs two extra outputs beyond the
+//! direction:
+//!
+//! * `base_taken` — the bimodal component's direction, because on an L0 BTB
+//!   hit only the bimodal is fast enough to feed next-cycle address
+//!   generation (§III-B);
+//! * `tagged_override` — whether a tagged component disagrees with the
+//!   bimodal, which costs one bubble on an L0 BTB hit (BP2 resteers BP1).
+
+use crate::bimodal::Bimodal;
+use crate::history::HistoryRegister;
+use elf_types::Addr;
+
+/// Geometry of a [`Tage`] predictor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TageConfig {
+    /// log2 of the number of entries per tagged table.
+    pub table_bits: u8,
+    /// Tag width in bits.
+    pub tag_bits: u8,
+    /// History length per tagged table (ascending).
+    pub hist_lens: Vec<u16>,
+    /// log2 of the number of bimodal base entries.
+    pub base_bits: u8,
+    /// Useful-counter aging period (branches between halvings).
+    pub u_reset_period: u64,
+}
+
+impl TageConfig {
+    /// The 32 KB-class configuration of Table II: 8 tagged tables.
+    #[must_use]
+    pub fn paper() -> Self {
+        TageConfig {
+            table_bits: 10,
+            tag_bits: 11,
+            hist_lens: vec![4, 7, 12, 19, 31, 51, 84, 128],
+            base_bits: 14,
+            u_reset_period: 256 * 1024,
+        }
+    }
+
+    /// A small configuration for fast unit tests.
+    #[must_use]
+    pub fn tiny() -> Self {
+        TageConfig {
+            table_bits: 7,
+            tag_bits: 9,
+            hist_lens: vec![4, 8, 16, 32],
+            base_bits: 9,
+            u_reset_period: 64 * 1024,
+        }
+    }
+
+    /// Approximate storage in bits (tagged entries: ctr 3 + tag + u 2).
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        let tagged = self.hist_lens.len()
+            * (1usize << self.table_bits)
+            * (3 + self.tag_bits as usize + 2);
+        let base = (1usize << self.base_bits) * 2;
+        tagged + base
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TageEntry {
+    tag: u16,
+    ctr: i8, // -4..=3, taken when >= 0
+    u: u8,   // 0..=3
+}
+
+/// A TAGE prediction with the side information the DCF timing rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagePrediction {
+    /// Final predicted direction.
+    pub taken: bool,
+    /// The bimodal base component's direction.
+    pub base_taken: bool,
+    /// Providing tagged table (None = bimodal provided).
+    pub provider: Option<u8>,
+    /// `true` when a tagged component overrides the bimodal direction —
+    /// costs one bubble on an L0 BTB hit (§III-B).
+    pub tagged_override: bool,
+}
+
+/// The TAGE predictor. See module docs.
+///
+/// ```
+/// use elf_predictors::{Tage, tage::TageConfig};
+///
+/// let mut tage = Tage::new(TageConfig::tiny());
+/// // An always-taken branch is learned within a few occurrences.
+/// for _ in 0..64 {
+///     tage.spec_push(true);
+///     tage.train(0x4000, true);
+/// }
+/// assert!(tage.predict(0x4000).taken);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tage {
+    cfg: TageConfig,
+    base: Bimodal,
+    tables: Vec<Vec<TageEntry>>,
+    spec_hist: HistoryRegister,
+    retire_hist: HistoryRegister,
+    lfsr: u32,
+    trained: u64,
+}
+
+impl Tage {
+    /// Creates a predictor with the given geometry.
+    #[must_use]
+    pub fn new(cfg: TageConfig) -> Self {
+        let tables = cfg
+            .hist_lens
+            .iter()
+            .map(|_| vec![TageEntry::default(); 1 << cfg.table_bits])
+            .collect();
+        Tage {
+            base: Bimodal::new(1 << cfg.base_bits, 2),
+            tables,
+            spec_hist: HistoryRegister::new(),
+            retire_hist: HistoryRegister::new(),
+            lfsr: 0xace1,
+            trained: 0,
+            cfg,
+        }
+    }
+
+    /// The paper configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        Tage::new(TageConfig::paper())
+    }
+
+    fn index(&self, pc: Addr, t: usize, hist: &HistoryRegister) -> usize {
+        let folded = hist.fold(self.cfg.hist_lens[t], self.cfg.table_bits);
+        let mask = (1u64 << self.cfg.table_bits) - 1;
+        (((pc >> 2) ^ (pc >> (self.cfg.table_bits as u64 + 2)) ^ folded ^ (t as u64) << 3)
+            & mask) as usize
+    }
+
+    fn tag(&self, pc: Addr, t: usize, hist: &HistoryRegister) -> u16 {
+        let f1 = hist.fold(self.cfg.hist_lens[t], self.cfg.tag_bits);
+        let f2 = hist.fold(self.cfg.hist_lens[t], self.cfg.tag_bits - 1) << 1;
+        let mask = (1u64 << self.cfg.tag_bits) - 1;
+        (((pc >> 2) ^ f1 ^ f2) & mask) as u16
+    }
+
+    fn lookup(&self, pc: Addr, hist: &HistoryRegister) -> TagePrediction {
+        let base_taken = self.base.predict(pc).taken;
+        let mut provider = None;
+        let mut pred = base_taken;
+        for t in (0..self.tables.len()).rev() {
+            let e = &self.tables[t][self.index(pc, t, hist)];
+            if e.tag == self.tag(pc, t, hist) {
+                provider = Some(t as u8);
+                pred = e.ctr >= 0;
+                break;
+            }
+        }
+        TagePrediction {
+            taken: pred,
+            base_taken,
+            provider,
+            tagged_override: pred != base_taken,
+        }
+    }
+
+    /// Predicts `pc` using the *speculative* history.
+    #[must_use]
+    pub fn predict(&self, pc: Addr) -> TagePrediction {
+        self.lookup(pc, &self.spec_hist)
+    }
+
+    /// Predicts `pc` with an externally-owned history (the front-end owns a
+    /// single shared history register).
+    #[must_use]
+    pub fn predict_with_hist(&self, pc: Addr, hist: u128) -> TagePrediction {
+        let mut h = HistoryRegister::new();
+        h.set(hist);
+        self.lookup(pc, &h)
+    }
+
+    /// Trains with the exact predict-time history snapshot (checkpoint-queue
+    /// payload equivalent, §IV-D). Does not touch the internal histories.
+    pub fn train_with_hist(&mut self, pc: Addr, taken: bool, hist: u128) {
+        let saved = self.retire_hist;
+        let mut h = HistoryRegister::new();
+        h.set(hist);
+        self.retire_hist = h;
+        self.train(pc, taken);
+        self.retire_hist = saved;
+    }
+
+    /// Pushes a speculative outcome (call after every predicted conditional).
+    pub fn spec_push(&mut self, taken: bool) {
+        self.spec_hist.push(taken);
+    }
+
+    /// Current speculative history bits (for flush repair bookkeeping).
+    #[must_use]
+    pub fn spec_bits(&self) -> u128 {
+        self.spec_hist.bits()
+    }
+
+    /// Overwrites the speculative history (flush repair).
+    pub fn spec_set(&mut self, bits: u128) {
+        self.spec_hist.set(bits);
+    }
+
+    /// Current retirement history bits.
+    #[must_use]
+    pub fn retire_bits(&self) -> u128 {
+        self.retire_hist.bits()
+    }
+
+    fn rand2(&mut self) -> u32 {
+        // 16-bit Galois LFSR for allocation randomization.
+        let bit = (self.lfsr ^ (self.lfsr >> 2) ^ (self.lfsr >> 3) ^ (self.lfsr >> 5)) & 1;
+        self.lfsr = (self.lfsr >> 1) | (bit << 15);
+        self.lfsr & 3
+    }
+
+    /// Trains on a retired conditional branch. Uses (and then advances) the
+    /// retirement history.
+    pub fn train(&mut self, pc: Addr, taken: bool) {
+        let hist = self.retire_hist;
+        let pred = self.lookup(pc, &hist);
+
+        // Update the provider (or base) counter.
+        match pred.provider {
+            Some(t) => {
+                let t = t as usize;
+                let i = self.index(pc, t, &hist);
+                // Useful bit: bumped when the provider differed from the
+                // alternate prediction and was right (aged when wrong).
+                let alt = self.alt_pred(pc, t, &hist);
+                let e = &mut self.tables[t][i];
+                e.ctr = if taken { (e.ctr + 1).min(3) } else { (e.ctr - 1).max(-4) };
+                if pred.taken != alt {
+                    if pred.taken == taken {
+                        e.u = (e.u + 1).min(3);
+                    } else {
+                        e.u = e.u.saturating_sub(1);
+                    }
+                }
+            }
+            None => self.base.train(pc, taken),
+        }
+        // Base also trains when it provided or when the provider is weak.
+        if pred.provider.is_some() && taken == pred.base_taken {
+            self.base.train(pc, taken);
+        }
+
+        // Allocate a new entry on misprediction.
+        if pred.taken != taken {
+            let start = pred.provider.map_or(0, |t| t as usize + 1);
+            if start < self.tables.len() {
+                // Pick among up to the next 3 tables, skewed toward shorter
+                // histories, requiring u == 0.
+                let mut allocated = false;
+                let skip = (self.rand2() & 1) as usize;
+                for t in (start + skip)..self.tables.len() {
+                    let i = self.index(pc, t, &hist);
+                    if self.tables[t][i].u == 0 {
+                        self.tables[t][i] = TageEntry {
+                            tag: self.tag(pc, t, &hist),
+                            ctr: if taken { 0 } else { -1 },
+                            u: 0,
+                        };
+                        allocated = true;
+                        break;
+                    }
+                }
+                if !allocated {
+                    // Decay the u counters along the allocation path.
+                    for t in start..self.tables.len() {
+                        let i = self.index(pc, t, &hist);
+                        self.tables[t][i].u = self.tables[t][i].u.saturating_sub(1);
+                    }
+                }
+            }
+        }
+
+        // Periodic aging of useful counters.
+        self.trained += 1;
+        if self.trained.is_multiple_of(self.cfg.u_reset_period) {
+            for t in &mut self.tables {
+                for e in t.iter_mut() {
+                    e.u >>= 1;
+                }
+            }
+        }
+
+        self.retire_hist.push(taken);
+    }
+
+    fn alt_pred(&self, pc: Addr, provider: usize, hist: &HistoryRegister) -> bool {
+        for t in (0..provider).rev() {
+            let e = &self.tables[t][self.index(pc, t, hist)];
+            if e.tag == self.tag(pc, t, hist) {
+                return e.ctr >= 0;
+            }
+        }
+        self.base.predict(pc).taken
+    }
+
+    /// Storage cost in bits.
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        self.cfg.storage_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives predict→spec_push→train in lockstep (no wrong path).
+    fn run_stream(tage: &mut Tage, pc: Addr, outcomes: impl Iterator<Item = bool>) -> f64 {
+        let mut miss = 0u64;
+        let mut total = 0u64;
+        for t in outcomes {
+            let p = tage.predict(pc);
+            if p.taken != t {
+                miss += 1;
+            }
+            total += 1;
+            tage.spec_push(t);
+            tage.train(pc, t);
+        }
+        miss as f64 / total as f64
+    }
+
+    #[test]
+    fn learns_strongly_biased_branch() {
+        let mut tage = Tage::new(TageConfig::tiny());
+        let rate = run_stream(&mut tage, 0x1000, (0..2000).map(|_| true));
+        assert!(rate < 0.01, "always-taken miss rate {rate}");
+    }
+
+    #[test]
+    fn learns_short_periodic_pattern() {
+        let mut tage = Tage::new(TageConfig::tiny());
+        let pat = [true, true, false, true, false, false];
+        let rate = run_stream(&mut tage, 0x2000, (0..6000).map(|i| pat[i % pat.len()]));
+        assert!(rate < 0.1, "pattern miss rate {rate}");
+    }
+
+    #[test]
+    fn learns_loop_exit_branches() {
+        let mut tage = Tage::new(TageConfig::tiny());
+        // Taken 7, not-taken 1, repeating (trip = 8 <= shortest history + ε).
+        let rate = run_stream(&mut tage, 0x3000, (0..8000).map(|i| i % 8 != 7));
+        assert!(rate < 0.08, "loop-exit miss rate {rate}");
+    }
+
+    #[test]
+    fn learns_history_correlated_branch_that_bimodal_cannot() {
+        // outcome(n) = outcome(n-1) XOR outcome(n-2), seeded pseudo-randomly:
+        // a pure function of 2 bits of history.
+        let mut outcomes = Vec::with_capacity(8000);
+        let (mut a, mut b) = (true, false);
+        let mut x: u32 = 12345;
+        for i in 0..8000 {
+            // Re-seed occasionally so the sequence is not a short cycle.
+            if i % 97 == 0 {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                a = x & 1 == 1;
+            }
+            let next = a ^ b;
+            outcomes.push(next);
+            b = a;
+            a = next;
+        }
+        let mut tage = Tage::new(TageConfig::tiny());
+        let rate = run_stream(&mut tage, 0x4000, outcomes.iter().copied());
+        assert!(rate < 0.2, "TAGE should learn xor-of-history: {rate}");
+
+        let mut bim = Bimodal::new(512, 2);
+        let mut miss = 0;
+        for &t in &outcomes {
+            if bim.predict(0x4000).taken != t {
+                miss += 1;
+            }
+            bim.train(0x4000, t);
+        }
+        let bim_rate = miss as f64 / outcomes.len() as f64;
+        assert!(
+            bim_rate > rate + 0.1,
+            "bimodal ({bim_rate}) must be clearly worse than TAGE ({rate})"
+        );
+    }
+
+    #[test]
+    fn random_branch_misses_around_min_p() {
+        let mut tage = Tage::new(TageConfig::tiny());
+        // p(taken) = 0.25 pseudo-random stream.
+        let mut x: u64 = 99;
+        let outcomes: Vec<bool> = (0..8000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) % 100 < 25
+            })
+            .collect();
+        let rate = run_stream(&mut tage, 0x5000, outcomes.into_iter());
+        assert!(rate > 0.15 && rate < 0.40, "Bernoulli(0.25) miss rate {rate}");
+    }
+
+    #[test]
+    fn spec_history_restore_roundtrips() {
+        let mut tage = Tage::new(TageConfig::tiny());
+        tage.spec_push(true);
+        tage.spec_push(false);
+        let saved = tage.spec_bits();
+        let before = tage.predict(0x6000);
+        tage.spec_push(true);
+        tage.spec_push(true);
+        tage.spec_set(saved);
+        assert_eq!(tage.predict(0x6000), before, "restore must reproduce predictions");
+    }
+
+    #[test]
+    fn paper_config_is_32kb_class() {
+        let bits = TageConfig::paper().storage_bits();
+        let kb = bits as f64 / 8192.0;
+        assert!((20.0..=40.0).contains(&kb), "TAGE storage {kb} KB");
+    }
+
+    #[test]
+    fn distinct_pcs_do_not_destructively_interfere() {
+        let mut tage = Tage::new(TageConfig::tiny());
+        let mut missed = 0;
+        for i in 0..4000 {
+            for (pc, dir) in [(0x7000u64, true), (0x8000u64, false)] {
+                let p = tage.predict(pc);
+                if i > 100 && p.taken != dir {
+                    missed += 1;
+                }
+                tage.spec_push(dir);
+                tage.train(pc, dir);
+            }
+        }
+        assert!(missed < 80, "interference misses: {missed}");
+    }
+}

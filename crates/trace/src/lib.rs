@@ -1,0 +1,32 @@
+//! Synthetic workload substrate for the ELF front-end study.
+//!
+//! The paper evaluates on SPEC CPU2006/2017 SimPoints and proprietary server
+//! traces; neither can ship with an open-source reproduction. This crate
+//! replaces them with *synthetic programs*: static code images with attached
+//! behavioral models (branch directions, indirect targets, memory address
+//! streams) that are walked by a deterministic [`oracle::Oracle`] to produce
+//! the architecturally-correct instruction stream.
+//!
+//! * [`behavior`] — the model zoo (predictable ↔ hostile along each axis);
+//! * [`program`] — static images the front-end fetches from (including down
+//!   wrong paths);
+//! * [`synth`] — the CFG synthesizer driven by [`synth::ProgramSpec`];
+//! * [`oracle`] — correct-path stream generation and profiling;
+//! * [`workloads`] — the Table I registry (one spec per paper benchmark).
+
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod dot;
+pub mod oracle;
+pub mod program;
+pub mod simpoint;
+pub mod synth;
+pub mod validate;
+pub mod workloads;
+
+pub use oracle::{DynInst, DynProfile, Oracle};
+pub use simpoint::SimPoint;
+pub use program::Program;
+pub use synth::{synthesize, ProgramSpec};
+pub use workloads::{Suite, Workload};

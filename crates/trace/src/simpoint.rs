@@ -1,0 +1,215 @@
+//! Mini-SimPoint: representative-interval selection (Perelman et al.,
+//! SIGMETRICS'03 — the paper's §V-A methodology: "We use 100-million
+//! instruction simpoints").
+//!
+//! The dynamic stream is cut into fixed-length intervals; each interval is
+//! summarized by a *basic-block vector* (execution frequency per code
+//! region), the vectors are clustered with k-means, and the interval
+//! closest to each centroid is selected with a weight proportional to its
+//! cluster's size. Simulating only the selected intervals (scaled by their
+//! weights) approximates whole-program behavior at a fraction of the cost.
+
+use crate::oracle::Oracle;
+use elf_types::SeqNum;
+
+/// One selected representative interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimPoint {
+    /// First instruction (sequence number) of the interval.
+    pub start: SeqNum,
+    /// Interval length in instructions.
+    pub length: u64,
+    /// Fraction of the profiled stream this interval represents.
+    pub weight: f64,
+}
+
+/// Dimensionality of the hashed basic-block vectors.
+const BBV_DIM: usize = 64;
+
+fn bbv_of(oracle: &mut Oracle, start: SeqNum, len: u64) -> [f64; BBV_DIM] {
+    let mut v = [0f64; BBV_DIM];
+    for s in start..start + len {
+        let e = oracle.entry(s);
+        // Hash the 64-byte code line into the vector (random projection).
+        let line = e.pc / 64;
+        let h = line.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        v[(h >> 56) as usize % BBV_DIM] += 1.0;
+    }
+    // L1-normalize so interval length does not dominate distance.
+    let sum: f64 = v.iter().sum();
+    if sum > 0.0 {
+        v.iter_mut().for_each(|x| *x /= sum);
+    }
+    v
+}
+
+fn dist2(a: &[f64; BBV_DIM], b: &[f64; BBV_DIM]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Profiles `n_intervals × interval_len` instructions from sequence 0 and
+/// selects up to `k` representative intervals.
+///
+/// # Panics
+///
+/// Panics if `k` or `n_intervals` is 0.
+#[must_use]
+pub fn select(
+    oracle: &mut Oracle,
+    interval_len: u64,
+    n_intervals: usize,
+    k: usize,
+) -> Vec<SimPoint> {
+    select_from(oracle, 0, interval_len, n_intervals, k)
+}
+
+/// Like [`select`], profiling from sequence `start` (e.g. past a warm-up
+/// region whose micro-architectural cold-start would otherwise skew the
+/// per-interval behavior).
+///
+/// # Panics
+///
+/// Panics if `k` or `n_intervals` is 0.
+#[must_use]
+pub fn select_from(
+    oracle: &mut Oracle,
+    start: SeqNum,
+    interval_len: u64,
+    n_intervals: usize,
+    k: usize,
+) -> Vec<SimPoint> {
+    assert!(k > 0 && n_intervals > 0);
+    let k = k.min(n_intervals);
+    let vectors: Vec<[f64; BBV_DIM]> = (0..n_intervals)
+        .map(|i| bbv_of(oracle, start + i as u64 * interval_len, interval_len))
+        .collect();
+
+    // k-means with deterministic farthest-point initialization.
+    let mut centroids: Vec<[f64; BBV_DIM]> = vec![vectors[0]];
+    while centroids.len() < k {
+        let far = vectors
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                let da: f64 = centroids.iter().map(|c| dist2(a, c)).fold(f64::MAX, f64::min);
+                let db: f64 = centroids.iter().map(|c| dist2(b, c)).fold(f64::MAX, f64::min);
+                da.partial_cmp(&db).expect("distances are finite")
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        centroids.push(vectors[far]);
+    }
+
+    let mut assign = vec![0usize; vectors.len()];
+    for _ in 0..20 {
+        let mut changed = false;
+        for (i, v) in vectors.iter().enumerate() {
+            let best = (0..centroids.len())
+                .min_by(|&a, &b| {
+                    dist2(v, &centroids[a])
+                        .partial_cmp(&dist2(v, &centroids[b]))
+                        .expect("finite")
+                })
+                .expect("k >= 1");
+            if assign[i] != best {
+                assign[i] = best;
+                changed = true;
+            }
+        }
+        // Recompute centroids.
+        let mut sums = vec![[0f64; BBV_DIM]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (i, v) in vectors.iter().enumerate() {
+            counts[assign[i]] += 1;
+            for d in 0..BBV_DIM {
+                sums[assign[i]][d] += v[d];
+            }
+        }
+        for c in 0..centroids.len() {
+            if counts[c] > 0 {
+                for d in 0..BBV_DIM {
+                    centroids[c][d] = sums[c][d] / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Pick the member closest to each non-empty centroid.
+    let mut points = Vec::new();
+    for (c, centroid) in centroids.iter().enumerate() {
+        let members: Vec<usize> =
+            (0..vectors.len()).filter(|&i| assign[i] == c).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let rep = members
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                dist2(&vectors[a], centroid)
+                    .partial_cmp(&dist2(&vectors[b], centroid))
+                    .expect("finite")
+            })
+            .expect("non-empty cluster");
+        points.push(SimPoint {
+            start: start + rep as u64 * interval_len,
+            length: interval_len,
+            weight: members.len() as f64 / vectors.len() as f64,
+        });
+    }
+    points.sort_by_key(|p| p.start);
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synthesize, ProgramSpec};
+    use std::sync::Arc;
+
+    fn oracle(name: &str, funcs: usize) -> Oracle {
+        let spec = ProgramSpec {
+            name: name.into(),
+            seed: 9,
+            num_funcs: funcs,
+            ..ProgramSpec::default()
+        };
+        Oracle::new(Arc::new(synthesize(&spec)), spec.seed)
+    }
+
+    #[test]
+    fn weights_sum_to_one_and_points_are_sorted() {
+        let mut o = oracle("sp", 40);
+        let pts = select(&mut o, 5_000, 20, 4);
+        assert!(!pts.is_empty() && pts.len() <= 4);
+        let total: f64 = pts.iter().map(|p| p.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
+        assert!(pts.windows(2).all(|w| w[0].start < w[1].start));
+        assert!(pts.iter().all(|p| p.start % 5_000 == 0));
+    }
+
+    #[test]
+    fn k_clamps_to_interval_count() {
+        let mut o = oracle("sp2", 20);
+        let pts = select(&mut o, 2_000, 3, 10);
+        assert!(pts.len() <= 3);
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let a = select(&mut oracle("sp3", 40), 4_000, 16, 3);
+        let b = select(&mut oracle("sp3", 40), 4_000, 16, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_cluster_covers_everything() {
+        let mut o = oracle("sp4", 30);
+        let pts = select(&mut o, 3_000, 8, 1);
+        assert_eq!(pts.len(), 1);
+        assert!((pts[0].weight - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,622 @@
+//! Workload registry modeling Table I of the paper.
+//!
+//! The paper evaluates SPEC CPU2006, SPEC CPU2017 (speed) and two proprietary
+//! server suites. We cannot ship those binaries/traces, so each benchmark is
+//! modeled as a [`ProgramSpec`] whose parameters place it in the same
+//! front-end operating region the paper describes (see DESIGN.md §4):
+//! branch MPKI class, instruction footprint, indirect/return density,
+//! recursion, and memory behavior. Names follow the paper's figures
+//! (`641.leela`, `server1_subtest1`, ...).
+
+use crate::synth::{CondProfile, IndirectProfile, MemProfile, ProgramSpec, RecursionSpec};
+
+/// Benchmark suite, as grouped by Table I and Figure 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Suite {
+    /// SPEC CPU2006 integer benchmarks.
+    Spec2k6Int,
+    /// SPEC CPU2006 floating-point benchmarks.
+    Spec2k6Fp,
+    /// SPEC CPU2017 integer (speed) benchmarks.
+    Spec2k17Int,
+    /// SPEC CPU2017 floating-point (speed) benchmarks.
+    Spec2k17Fp,
+    /// Server suite 1: transaction server, very large instruction footprint.
+    Server1,
+    /// Server suite 2: compute kernel pressuring branch prediction and
+    /// the data side (recursion-heavy / graph-processing subtests).
+    Server2,
+}
+
+impl Suite {
+    /// All suites in Figure 9 order.
+    pub const ALL: [Suite; 6] = [
+        Suite::Spec2k17Fp,
+        Suite::Spec2k17Int,
+        Suite::Spec2k6Fp,
+        Suite::Spec2k6Int,
+        Suite::Server1,
+        Suite::Server2,
+    ];
+
+    /// Display label matching Figure 9.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Suite::Spec2k17Fp => "2K17 FP",
+            Suite::Spec2k17Int => "2K17 INT",
+            Suite::Spec2k6Fp => "2K6 FP",
+            Suite::Spec2k6Int => "2K6 INT",
+            Suite::Server1 => "Server_1",
+            Suite::Server2 => "Server_2",
+        }
+    }
+}
+
+/// A named benchmark: suite membership plus its program spec.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Benchmark name as printed in the paper's figures.
+    pub name: &'static str,
+    /// Suite membership.
+    pub suite: Suite,
+    /// Synthesis parameters.
+    pub spec: ProgramSpec,
+}
+
+fn seed_of(name: &str) -> u64 {
+    // FNV-1a so each benchmark gets a stable, distinct seed.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------- Category templates ----------
+
+/// Integer benchmark with moderate, mostly-predictable control flow.
+fn int_moderate(name: &str) -> ProgramSpec {
+    ProgramSpec {
+        name: name.to_owned(),
+        seed: seed_of(name),
+        num_funcs: 160,
+        blocks_per_func: (4, 14),
+        insts_per_block: (3, 9),
+        call_prob: 0.12,
+        cond_prob: 0.45,
+        indirect_prob: 0.02,
+        uncond_prob: 0.08,
+        zipf_theta: 1.1,
+        simd_frac: 0.03,
+        cond: CondProfile {
+            frac_loop: 0.2,
+            frac_biased: 0.5,
+            frac_pattern: 0.0,
+            frac_history: 0.2,
+            frac_bernoulli: 0.1,
+            bernoulli_p: (0.25, 0.75),
+            ..CondProfile::default()
+        },
+        indirect: IndirectProfile::default(),
+        recursion: None,
+        // SPEC-INT-class working sets mostly live in the L1D/L2: keep the
+        // data side off the critical path so front-end effects are visible
+        // (matching the operating region of the paper's evaluation).
+        mem: MemProfile {
+            data_footprint: 512 << 10,
+            frac_stride: 0.8,
+            frac_random: 0.1,
+            frac_chase: 0.1,
+            ..MemProfile::default()
+        },
+    }
+}
+
+/// Branchy integer benchmark with hard-to-predict branches (game trees,
+/// discrete simulators) — the high-MPKI class that ELF targets.
+fn int_branchy(name: &str, bernoulli: f64, p_range: (f64, f64)) -> ProgramSpec {
+    let base = int_moderate(name);
+    ProgramSpec {
+        blocks_per_func: (5, 16),
+        insts_per_block: (2, 7),
+        cond_prob: 0.55,
+        cond: CondProfile {
+            // Loops amplify dynamically (trip× executions) and are
+            // perfectly predictable, diluting MPKI: keep them short and
+            // rare so the hard branches dominate the dynamic mix.
+            frac_loop: 0.08,
+            frac_biased: (1.0 - 0.08 - 0.12 - bernoulli).max(0.0),
+            frac_pattern: 0.0,
+            frac_history: 0.12,
+            frac_bernoulli: bernoulli,
+            bernoulli_p: p_range,
+            loop_trip: (2, 6),
+            ..CondProfile::default()
+        },
+        ..base
+    }
+}
+
+/// Floating-point benchmark: long blocks, loop-dominated, very predictable,
+/// stride-heavy memory.
+fn fp_predictable(name: &str) -> ProgramSpec {
+    let base = int_moderate(name);
+    ProgramSpec {
+        num_funcs: 80,
+        blocks_per_func: (3, 8),
+        insts_per_block: (10, 24),
+        call_prob: 0.08,
+        cond_prob: 0.3,
+        indirect_prob: 0.0,
+        uncond_prob: 0.04,
+        simd_frac: 0.35,
+        cond: CondProfile {
+            frac_loop: 0.7,
+            frac_biased: 0.25,
+            frac_pattern: 0.0,
+            frac_history: 0.0,
+            frac_bernoulli: 0.05,
+            loop_trip: (16, 256),
+            bernoulli_p: (0.1, 0.9),
+            ..CondProfile::default()
+        },
+        mem: MemProfile {
+            load_frac: 0.3,
+            store_frac: 0.12,
+            data_footprint: 64 << 20,
+            frac_stride: 0.85,
+            frac_random: 0.1,
+            frac_chase: 0.05,
+            alias_pairs: 0,
+        },
+        ..base
+    }
+}
+
+/// Server 1: transaction server with a multi-megabyte instruction footprint
+/// and a flat function-popularity distribution, so the BTB and I-caches miss
+/// chronically (§VI-A: L0/L1/L2 BTB hit rates 28.3/48.5/70.6% on subtest 1).
+fn server1(name: &str, funcs: usize) -> ProgramSpec {
+    let base = int_moderate(name);
+    ProgramSpec {
+        num_funcs: funcs,
+        blocks_per_func: (6, 14),
+        insts_per_block: (3, 10),
+        call_prob: 0.16,
+        cond_prob: 0.42,
+        indirect_prob: 0.03,
+        zipf_theta: 0.05,
+        cond: CondProfile {
+            // Transaction-processing code is loop-light and straight-line
+            // heavy: every function visit is nearly cold.
+            frac_loop: 0.08,
+            frac_biased: 0.52,
+            frac_pattern: 0.0,
+            frac_history: 0.25,
+            frac_bernoulli: 0.15,
+            loop_trip: (2, 6),
+            bernoulli_p: (0.2, 0.8),
+            ..CondProfile::default()
+        },
+        mem: MemProfile { data_footprint: 8 << 20, ..MemProfile::default() },
+        ..base
+    }
+}
+
+/// Server 2, recursion-heavy subtests: dense returns (RET-ELF's showcase),
+/// high branch MPKI, cross-function aliasing store→load pairs.
+fn server2_recursive(name: &str) -> ProgramSpec {
+    let mut base = int_branchy(name, 0.28, (0.3, 0.7));
+    // Call/return density dominates this workload: keep loops short and rare
+    // so recursion, not loop re-execution, carries the dynamic stream.
+    base.cond.frac_loop = 0.1;
+    base.cond.frac_pattern = 0.3;
+    base.cond.loop_trip = (3, 10);
+    ProgramSpec {
+        num_funcs: 90,
+        call_prob: 0.4,
+        insts_per_block: (2, 6),
+        recursion: Some(RecursionSpec { funcs: 8, depth: (8, 24) }),
+        mem: MemProfile {
+            data_footprint: 3 << 20,
+            frac_random: 0.2,
+            frac_stride: 0.7,
+            frac_chase: 0.1,
+            alias_pairs: 6,
+            ..MemProfile::default()
+        },
+        ..base
+    }
+}
+
+/// Server 2, graph-processing subtest: several-GB-class data footprint,
+/// highest branch MPKI, but bottlenecked on memory (§VI-A).
+fn server2_graph(name: &str) -> ProgramSpec {
+    let base = int_branchy(name, 0.4, (0.35, 0.65));
+    ProgramSpec {
+        num_funcs: 60,
+        mem: MemProfile {
+            load_frac: 0.3,
+            store_frac: 0.08,
+            data_footprint: 512 << 20,
+            frac_stride: 0.1,
+            frac_random: 0.45,
+            frac_chase: 0.45,
+            alias_pairs: 0,
+        },
+        ..base
+    }
+}
+
+fn tweak(spec: ProgramSpec, f: impl FnOnce(&mut ProgramSpec)) -> ProgramSpec {
+    let mut s = spec;
+    f(&mut s);
+    s
+}
+
+fn build(name: &'static str, suite: Suite) -> Workload {
+    use Suite::*;
+    let spec = match name {
+        // ---- SPEC CPU2017 INT (speed) ----
+        "600.perlbench" => tweak(int_moderate(name), |s| {
+            s.indirect_prob = 0.06; // interpreter dispatch
+            s.indirect.frac_mono = 0.25;
+            s.indirect.frac_history = 0.45;
+        }),
+        "602.gcc" => tweak(int_moderate(name), |s| {
+            s.num_funcs = 900; // large code footprint for a SPEC benchmark
+            s.zipf_theta = 0.5;
+            s.indirect_prob = 0.03;
+            s.cond.frac_bernoulli = 0.15;
+            s.cond.frac_biased = 0.45;
+        }),
+        "605.mcf" => tweak(int_branchy(name, 0.22, (0.25, 0.75)), |s| {
+            s.num_funcs = 40;
+            s.mem = MemProfile {
+                load_frac: 0.32,
+                data_footprint: 256 << 20,
+                frac_stride: 0.1,
+                frac_random: 0.3,
+                frac_chase: 0.6,
+                ..MemProfile::default()
+            };
+        }),
+        "620.omnetpp" => tweak(int_branchy(name, 0.1, (0.3, 0.7)), |s| {
+            // Bimodal-hostile, TAGE-friendly: many history-correlated
+            // branches (the COND-ELF +2 MPKI regression case, §VI-B).
+            s.cond.frac_history = 0.5;
+            s.cond.frac_biased = 0.32;
+            s.indirect_prob = 0.04; // virtual dispatch
+            s.mem.frac_random = 0.3;
+            s.mem.frac_stride = 0.55;
+            s.mem.data_footprint = 8 << 20;
+        }),
+        "623.xalancbmk" => tweak(int_moderate(name), |s| {
+            s.indirect_prob = 0.05;
+            s.num_funcs = 500;
+            s.zipf_theta = 0.6;
+        }),
+        "625.x264" => tweak(int_moderate(name), |s| {
+            s.simd_frac = 0.3;
+            s.insts_per_block = (6, 16);
+            s.cond_prob = 0.3;
+        }),
+        "631.deepsjeng" => int_branchy(name, 0.2, (0.3, 0.7)),
+        "641.leela" => tweak(int_branchy(name, 0.25, (0.35, 0.65)), |s| {
+            // Highest-MPKI SPEC workload in the study: the headline ELF win.
+            s.insts_per_block = (3, 8);
+            s.cond_prob = 0.55;
+        }),
+        "648.exchange2" => tweak(int_branchy(name, 0.16, (0.2, 0.8)), |s| {
+            s.call_prob = 0.2;
+            s.recursion = Some(RecursionSpec { funcs: 3, depth: (6, 12) });
+        }),
+        "657.xz_s" => tweak(int_branchy(name, 0.14, (0.2, 0.8)), |s| {
+            s.mem.data_footprint = 64 << 20;
+            s.mem.frac_random = 0.4;
+        }),
+
+        // ---- SPEC CPU2006 INT ----
+        "400.perlbench" => tweak(int_moderate(name), |s| {
+            s.indirect_prob = 0.06;
+            s.indirect.frac_mono = 0.3;
+        }),
+        "401.bzip2" => tweak(int_branchy(name, 0.15, (0.25, 0.75)), |s| {
+            s.num_funcs = 40;
+            s.mem.frac_stride = 0.7;
+        }),
+        "403.gcc" => tweak(int_moderate(name), |s| {
+            s.num_funcs = 800;
+            s.zipf_theta = 0.5;
+            s.cond.frac_bernoulli = 0.16;
+            s.cond.frac_biased = 0.44;
+        }),
+        "429.parser" => int_moderate(name),
+        "445.gobmk" => int_branchy(name, 0.22, (0.3, 0.7)),
+        "456.hmmer" => tweak(fp_predictable(name), |s| s.simd_frac = 0.1),
+        "458.sjeng" => tweak(int_branchy(name, 0.2, (0.3, 0.7)), |s| {
+            s.indirect_prob = 0.03; // jump tables in move generation
+            s.indirect.frac_mono = 0.35;
+        }),
+        "464.h264ref" => tweak(int_moderate(name), |s| {
+            s.simd_frac = 0.25;
+            s.insts_per_block = (6, 14);
+        }),
+        "471.omnetpp" => tweak(int_branchy(name, 0.12, (0.3, 0.7)), |s| {
+            s.cond.frac_history = 0.45;
+            s.cond.frac_biased = 0.35;
+            s.indirect_prob = 0.04;
+        }),
+        "473.astar" => tweak(int_branchy(name, 0.22, (0.3, 0.7)), |s| {
+            s.mem.frac_chase = 0.5;
+            s.mem.frac_stride = 0.2;
+            s.mem.data_footprint = 128 << 20;
+        }),
+        "483.xalancbmk" => tweak(int_moderate(name), |s| {
+            s.indirect_prob = 0.05;
+            s.num_funcs = 450;
+            s.zipf_theta = 0.6;
+        }),
+
+        // ---- SPEC CPU2006 FP ----
+        "433.milc" => tweak(fp_predictable(name), |s| {
+            // Mostly predictable FP, but with cross-function store→load
+            // aliasing around calls — the RET-ELF RAW-hazard pathology
+            // workload of §VI-B.
+            s.call_prob = 0.18;
+            s.num_funcs = 60;
+            s.mem.alias_pairs = 8;
+            s.cond.frac_bernoulli = 0.08;
+            s.cond.bernoulli_p = (0.3, 0.7);
+        }),
+        "437.leslie3d" => tweak(fp_predictable(name), |s| {
+            // Shown in Fig. 6: an FP benchmark with enough mispredictions
+            // to expose the DCF flush penalty.
+            s.cond.frac_bernoulli = 0.15;
+            s.cond.bernoulli_p = (0.3, 0.7);
+            s.cond.frac_loop = 0.55;
+            s.cond.frac_biased = 0.3;
+        }),
+
+        // ---- Server 1 (large instruction footprint) ----
+        "server1_subtest1" => server1(name, 8000),
+        "server1_subtest2" => server1(name, 5000),
+        "server1_subtest3" => tweak(server1(name, 3500), |s| {
+            s.cond.frac_bernoulli = 0.22;
+        }),
+
+        // ---- Server 2 (branch/memory pressure) ----
+        "server2_subtest1" => tweak(server2_recursive(name), |s| {
+            s.mem.alias_pairs = 10; // U-ELF RAW pathology noted in §VI-B
+        }),
+        "server2_subtest2" => server2_recursive(name),
+        "server2_subtest3" => server2_graph(name),
+
+        // ---- Remaining suite members share their category template ----
+        _ if suite == Spec2k6Fp || suite == Spec2k17Fp => fp_predictable(name),
+        _ => int_moderate(name),
+    };
+    Workload { name, suite, spec }
+}
+
+/// Table I membership, Figure-9 grouping. `(name, suite)` for every modeled
+/// benchmark.
+const TABLE1: &[(&str, Suite)] = &[
+    // SPEC2K6 INT
+    ("400.perlbench", Suite::Spec2k6Int),
+    ("401.bzip2", Suite::Spec2k6Int),
+    ("403.gcc", Suite::Spec2k6Int),
+    ("429.parser", Suite::Spec2k6Int),
+    ("445.gobmk", Suite::Spec2k6Int),
+    ("458.sjeng", Suite::Spec2k6Int),
+    ("464.h264ref", Suite::Spec2k6Int),
+    ("456.hmmer", Suite::Spec2k6Int),
+    ("471.omnetpp", Suite::Spec2k6Int),
+    ("473.astar", Suite::Spec2k6Int),
+    ("483.xalancbmk", Suite::Spec2k6Int),
+    // SPEC2K6 FP
+    ("416.gamess", Suite::Spec2k6Fp),
+    ("433.milc", Suite::Spec2k6Fp),
+    ("434.zeusmp", Suite::Spec2k6Fp),
+    ("435.gromacs", Suite::Spec2k6Fp),
+    ("437.leslie3d", Suite::Spec2k6Fp),
+    ("444.namd", Suite::Spec2k6Fp),
+    ("447.dealII", Suite::Spec2k6Fp),
+    ("450.soplex", Suite::Spec2k6Fp),
+    ("453.povray", Suite::Spec2k6Fp),
+    ("454.calculix", Suite::Spec2k6Fp),
+    ("465.tonto", Suite::Spec2k6Fp),
+    ("481.wrf", Suite::Spec2k6Fp),
+    ("482.sphinx3", Suite::Spec2k6Fp),
+    // SPEC2K17 INT (speed)
+    ("600.perlbench", Suite::Spec2k17Int),
+    ("602.gcc", Suite::Spec2k17Int),
+    ("605.mcf", Suite::Spec2k17Int),
+    ("620.omnetpp", Suite::Spec2k17Int),
+    ("623.xalancbmk", Suite::Spec2k17Int),
+    ("625.x264", Suite::Spec2k17Int),
+    ("631.deepsjeng", Suite::Spec2k17Int),
+    ("641.leela", Suite::Spec2k17Int),
+    ("648.exchange2", Suite::Spec2k17Int),
+    ("657.xz_s", Suite::Spec2k17Int),
+    // SPEC2K17 FP (speed)
+    ("603.bwaves", Suite::Spec2k17Fp),
+    ("607.cactuBSSN", Suite::Spec2k17Fp),
+    ("608.namd", Suite::Spec2k17Fp),
+    ("610.parest", Suite::Spec2k17Fp),
+    ("611.povray", Suite::Spec2k17Fp),
+    ("619.lbm", Suite::Spec2k17Fp),
+    ("621.wrf", Suite::Spec2k17Fp),
+    ("627.cam4", Suite::Spec2k17Fp),
+    ("628.pop2", Suite::Spec2k17Fp),
+    ("638.imagick", Suite::Spec2k17Fp),
+    ("644.nab", Suite::Spec2k17Fp),
+    ("649.fotonik3d", Suite::Spec2k17Fp),
+    ("654.roms", Suite::Spec2k17Fp),
+    ("657.blender", Suite::Spec2k17Fp),
+    // Server suites
+    ("server1_subtest1", Suite::Server1),
+    ("server1_subtest2", Suite::Server1),
+    ("server1_subtest3", Suite::Server1),
+    ("server2_subtest1", Suite::Server2),
+    ("server2_subtest2", Suite::Server2),
+    ("server2_subtest3", Suite::Server2),
+];
+
+/// The benchmarks shown individually on the x-axis of Figures 6–8, in figure
+/// order.
+pub const ELF_FOCUS_SET: &[&str] = &[
+    "602.gcc",
+    "605.mcf",
+    "620.omnetpp",
+    "631.deepsjeng",
+    "641.leela",
+    "648.exchange2",
+    "657.xz_s",
+    "server1_subtest1",
+    "server2_subtest2",
+    "server2_subtest3",
+    "433.milc",
+    "437.leslie3d",
+    "401.bzip2",
+    "403.gcc",
+    "445.gobmk",
+    "458.sjeng",
+    "473.astar",
+];
+
+/// All modeled benchmarks (Table I).
+#[must_use]
+pub fn all() -> Vec<Workload> {
+    TABLE1.iter().map(|&(n, s)| build(n, s)).collect()
+}
+
+/// Looks up one benchmark by its figure name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Workload> {
+    TABLE1
+        .iter()
+        .find(|&&(n, _)| n == name)
+        .map(|&(n, s)| build(n, s))
+}
+
+/// All members of one suite.
+#[must_use]
+pub fn suite_members(suite: Suite) -> Vec<Workload> {
+    TABLE1
+        .iter()
+        .filter(|&&(_, s)| s == suite)
+        .map(|&(n, s)| build(n, s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{DynProfile, Oracle};
+    use crate::synth::synthesize;
+    use std::sync::Arc;
+
+    #[test]
+    fn registry_names_are_unique() {
+        let mut names: Vec<&str> = TABLE1.iter().map(|&(n, _)| n).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+
+    #[test]
+    fn registry_matches_table1_shape() {
+        assert_eq!(suite_members(Suite::Server1).len(), 3);
+        assert_eq!(suite_members(Suite::Server2).len(), 3);
+        assert_eq!(suite_members(Suite::Spec2k17Int).len(), 10);
+        assert!(suite_members(Suite::Spec2k6Int).len() >= 10);
+        assert!(suite_members(Suite::Spec2k6Fp).len() >= 12);
+        assert!(suite_members(Suite::Spec2k17Fp).len() >= 13);
+    }
+
+    #[test]
+    fn focus_set_resolves() {
+        for name in ELF_FOCUS_SET {
+            let w = by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(w.name, *name);
+            assert_eq!(w.spec.name, *name);
+        }
+    }
+
+    #[test]
+    fn every_workload_synthesizes_and_runs() {
+        for w in all() {
+            let prog = synthesize(&w.spec);
+            let mut o = Oracle::new(Arc::new(prog), w.spec.seed);
+            // Walking 5k instructions must not panic and must chain.
+            for s in 0..5_000 {
+                let e = o.entry(s);
+                assert_eq!(o.entry(s + 1).pc, e.next_pc);
+            }
+        }
+    }
+
+    #[test]
+    fn server1_has_much_larger_code_footprint_than_spec_int() {
+        let s1 = synthesize(&by_name("server1_subtest1").unwrap().spec);
+        let leela = synthesize(&by_name("641.leela").unwrap().spec);
+        assert!(
+            s1.code_bytes() > (2 << 20),
+            "server1 footprint only {} bytes",
+            s1.code_bytes()
+        );
+        assert!(s1.code_bytes() > 8 * leela.code_bytes());
+    }
+
+    #[test]
+    fn recursion_workload_is_return_dense() {
+        let w = by_name("server2_subtest2").unwrap();
+        let mut o = Oracle::new(Arc::new(synthesize(&w.spec)), w.spec.seed);
+        let p = DynProfile::collect(&mut o, 0, 100_000);
+        let ret_per_ki = p.returns as f64 * 1000.0 / p.insts as f64;
+        assert!(ret_per_ki > 5.0, "server2_subtest2 returns/KI = {ret_per_ki}");
+    }
+
+    #[test]
+    fn fp_suites_are_less_branchy_than_int_suites_on_average() {
+        let density = |suite: Suite| {
+            let mut total = 0.0;
+            let members = suite_members(suite);
+            for w in members.iter().take(4) {
+                let mut o = Oracle::new(Arc::new(synthesize(&w.spec)), w.spec.seed);
+                let p = DynProfile::collect(&mut o, 0, 30_000);
+                total += p.conds as f64 / p.insts as f64;
+            }
+            total / members.len().min(4) as f64
+        };
+        let fp = density(Suite::Spec2k17Fp);
+        let int = density(Suite::Spec2k17Int);
+        assert!(
+            int > 1.3 * fp,
+            "INT suites must be branchier: int {int:.3} vs fp {fp:.3}"
+        );
+    }
+
+    #[test]
+    fn fp_workloads_are_less_branchy_than_leela() {
+        let branchy = by_name("641.leela").unwrap();
+        let fp = by_name("619.lbm").unwrap();
+        let prof = |w: &Workload| {
+            let mut o = Oracle::new(Arc::new(synthesize(&w.spec)), w.spec.seed);
+            DynProfile::collect(&mut o, 0, 60_000)
+        };
+        let pb = prof(&branchy);
+        let pf = prof(&fp);
+        let density = |p: &DynProfile| p.conds as f64 / p.insts as f64;
+        assert!(
+            density(&pb) > 1.5 * density(&pf),
+            "leela cond density {} vs lbm {}",
+            density(&pb),
+            density(&pf)
+        );
+    }
+}

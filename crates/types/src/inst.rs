@@ -1,0 +1,248 @@
+//! Static instruction descriptions: classes, branch kinds and operands.
+
+use crate::Addr;
+
+/// The kind of a control-flow instruction.
+///
+/// In the modeled ISA (ARMv8-like), only [`BranchKind::CondDirect`] is
+/// conditional; every indirect branch is unconditional (paper §III-B), so a
+/// BTB entry holds at most one indirect branch and that branch terminates the
+/// entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BranchKind {
+    /// Conditional direct branch (`b.cond`).
+    CondDirect,
+    /// Unconditional direct branch (`b`).
+    UncondDirect,
+    /// Direct call (`bl`) — pushes a return address.
+    Call,
+    /// Function return (`ret`) — pops the return address stack.
+    Return,
+    /// Indirect jump (`br`) — target comes from a register.
+    IndirectJump,
+    /// Indirect call (`blr`) — indirect target plus a return-address push.
+    IndirectCall,
+}
+
+impl std::fmt::Display for BranchKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BranchKind::CondDirect => "b.cond",
+            BranchKind::UncondDirect => "b",
+            BranchKind::Call => "bl",
+            BranchKind::Return => "ret",
+            BranchKind::IndirectJump => "br",
+            BranchKind::IndirectCall => "blr",
+        };
+        f.write_str(s)
+    }
+}
+
+impl BranchKind {
+    /// Whether the branch is conditional (may fall through).
+    #[must_use]
+    pub fn is_conditional(self) -> bool {
+        matches!(self, BranchKind::CondDirect)
+    }
+
+    /// Whether the branch is unconditional (always redirects).
+    #[must_use]
+    pub fn is_unconditional(self) -> bool {
+        !self.is_conditional()
+    }
+
+    /// Whether the target comes from a register rather than the instruction
+    /// word (returns count as indirect).
+    #[must_use]
+    pub fn is_indirect(self) -> bool {
+        matches!(
+            self,
+            BranchKind::Return | BranchKind::IndirectJump | BranchKind::IndirectCall
+        )
+    }
+
+    /// Whether the target is encoded in the instruction word.
+    #[must_use]
+    pub fn is_direct(self) -> bool {
+        !self.is_indirect()
+    }
+
+    /// Whether the instruction pushes a return address (calls).
+    #[must_use]
+    pub fn is_call(self) -> bool {
+        matches!(self, BranchKind::Call | BranchKind::IndirectCall)
+    }
+
+    /// Whether the instruction pops the return address stack.
+    #[must_use]
+    pub fn is_return(self) -> bool {
+        matches!(self, BranchKind::Return)
+    }
+}
+
+/// Functional class of an instruction, determining which issue port it needs
+/// and its execution latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstClass {
+    /// Simple integer ALU operation (1-cycle).
+    Alu,
+    /// Integer multiply (multi-cycle, uses a mul/div-capable ALU port).
+    Mul,
+    /// Integer divide (long-latency, uses a mul/div-capable ALU port).
+    Div,
+    /// Memory load — latency comes from the data-cache hierarchy.
+    Load,
+    /// Memory store — address generation on a LD/ST port, data on StData.
+    Store,
+    /// SIMD/FP operation.
+    Simd,
+    /// Control-flow instruction of the given kind.
+    Branch(BranchKind),
+    /// No-operation filler (also used for wrong-path fetch off the image).
+    Nop,
+}
+
+impl std::fmt::Display for InstClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstClass::Alu => f.write_str("alu"),
+            InstClass::Mul => f.write_str("mul"),
+            InstClass::Div => f.write_str("div"),
+            InstClass::Load => f.write_str("ldr"),
+            InstClass::Store => f.write_str("str"),
+            InstClass::Simd => f.write_str("simd"),
+            InstClass::Branch(k) => write!(f, "{k}"),
+            InstClass::Nop => f.write_str("nop"),
+        }
+    }
+}
+
+impl InstClass {
+    /// Returns the branch kind if this is a control-flow instruction.
+    #[must_use]
+    pub fn branch_kind(self) -> Option<BranchKind> {
+        match self {
+            InstClass::Branch(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// Whether this instruction is any kind of branch.
+    #[must_use]
+    pub fn is_branch(self) -> bool {
+        matches!(self, InstClass::Branch(_))
+    }
+
+    /// Whether this instruction accesses data memory.
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        matches!(self, InstClass::Load | InstClass::Store)
+    }
+}
+
+/// Sentinel meaning "no behavior model attached" in [`StaticInst::behavior`].
+pub const NO_BEHAVIOR: u32 = u32::MAX;
+
+/// A static (program-image) instruction.
+///
+/// `behavior` is an opaque index into the owning program's behavior tables
+/// (branch-direction models, indirect-target models, memory-address streams);
+/// [`NO_BEHAVIOR`] when the instruction has none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticInst {
+    /// Address of the instruction.
+    pub pc: Addr,
+    /// Functional class.
+    pub class: InstClass,
+    /// Direct branch target, if the instruction is a direct branch.
+    pub target: Option<Addr>,
+    /// Destination architectural register, if any (0..32).
+    pub dst: Option<u8>,
+    /// Source architectural registers (255 = unused slot).
+    pub srcs: [u8; 2],
+    /// Index into the program's behavior tables, or [`NO_BEHAVIOR`].
+    pub behavior: u32,
+}
+
+/// Marker value for an unused source-register slot.
+pub const NO_REG: u8 = u8::MAX;
+
+impl StaticInst {
+    /// Creates a non-branch, non-memory instruction with no operands.
+    #[must_use]
+    pub fn simple(pc: Addr, class: InstClass) -> Self {
+        StaticInst {
+            pc,
+            class,
+            target: None,
+            dst: None,
+            srcs: [NO_REG, NO_REG],
+            behavior: NO_BEHAVIOR,
+        }
+    }
+
+    /// Returns the branch kind if this is a branch.
+    #[must_use]
+    pub fn branch_kind(&self) -> Option<BranchKind> {
+        self.class.branch_kind()
+    }
+
+    /// Iterator over the in-use source registers.
+    pub fn sources(&self) -> impl Iterator<Item = u8> + '_ {
+        self.srcs.iter().copied().filter(|&r| r != NO_REG)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_kind_classification_is_consistent() {
+        use BranchKind::*;
+        for k in [CondDirect, UncondDirect, Call, Return, IndirectJump, IndirectCall] {
+            assert_ne!(k.is_conditional(), k.is_unconditional());
+            assert_ne!(k.is_indirect(), k.is_direct());
+        }
+        assert!(CondDirect.is_conditional());
+        assert!(Return.is_indirect());
+        assert!(Return.is_return());
+        assert!(Call.is_call() && Call.is_direct());
+        assert!(IndirectCall.is_call() && IndirectCall.is_indirect());
+        assert!(UncondDirect.is_direct() && UncondDirect.is_unconditional());
+    }
+
+    #[test]
+    fn only_indirects_lack_static_targets_by_convention() {
+        let i = StaticInst::simple(0x100, InstClass::Branch(BranchKind::IndirectJump));
+        assert_eq!(i.target, None);
+        assert!(i.class.is_branch());
+        assert!(!i.class.is_mem());
+    }
+
+    #[test]
+    fn sources_skips_unused_slots() {
+        let mut i = StaticInst::simple(0, InstClass::Alu);
+        i.srcs = [3, NO_REG];
+        assert_eq!(i.sources().collect::<Vec<_>>(), vec![3]);
+        i.srcs = [NO_REG, NO_REG];
+        assert_eq!(i.sources().count(), 0);
+    }
+
+    #[test]
+    fn display_uses_armv8_mnemonics() {
+        assert_eq!(BranchKind::Return.to_string(), "ret");
+        assert_eq!(BranchKind::Call.to_string(), "bl");
+        assert_eq!(InstClass::Load.to_string(), "ldr");
+        assert_eq!(InstClass::Branch(BranchKind::CondDirect).to_string(), "b.cond");
+    }
+
+    #[test]
+    fn inst_class_mem_and_branch_predicates() {
+        assert!(InstClass::Load.is_mem());
+        assert!(InstClass::Store.is_mem());
+        assert!(!InstClass::Alu.is_mem());
+        assert!(InstClass::Branch(BranchKind::Call).is_branch());
+        assert_eq!(InstClass::Alu.branch_kind(), None);
+    }
+}

@@ -1,0 +1,56 @@
+//! Compare every fetch architecture — NoDCF, DCF, and all five ELF
+//! variants — on one workload (Figure 7/8-style, single benchmark).
+//!
+//! ```sh
+//! cargo run --release --example elf_variants -- 648.exchange2
+//! ```
+
+use elf_sim::core::{SimConfig, Simulator};
+use elf_sim::frontend::{ElfVariant, FetchArch};
+use elf_sim::trace::workloads;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "641.leela".to_owned());
+    let Some(workload) = workloads::by_name(&name) else {
+        eprintln!("unknown workload {name:?}; available:");
+        for w in workloads::all() {
+            eprintln!("  {}", w.name);
+        }
+        std::process::exit(1);
+    };
+
+    println!("workload: {name}");
+    println!(
+        "{:>9} {:>8} {:>9} {:>7} {:>12} {:>10} {:>10}",
+        "arch", "IPC", "rel DCF", "MPKI", "cpl insts/p", "stalls/KI", "diverg."
+    );
+
+    let mut archs = vec![FetchArch::NoDcf, FetchArch::Dcf];
+    archs.extend(ElfVariant::ALL.into_iter().map(FetchArch::Elf));
+
+    let mut base_ipc = None;
+    for arch in archs {
+        let mut sim = Simulator::for_workload(SimConfig::baseline(arch), &workload);
+        sim.warm_up(150_000);
+        let s = sim.run(250_000);
+        if arch == FetchArch::Dcf {
+            base_ipc = Some(s.ipc());
+        }
+        let rel = base_ipc.map_or("  —".to_owned(), |b| format!("{:.3}", s.ipc() / b));
+        println!(
+            "{:>9} {:>8.3} {:>9} {:>7.1} {:>12.1} {:>10.1} {:>10}",
+            arch.label(),
+            s.ipc(),
+            rel,
+            s.branch_mpki(),
+            s.frontend.avg_coupled_insts(),
+            s.frontend.coupled_stalls as f64 * 1000.0 / s.retired as f64,
+            s.frontend.divergences_dcf + s.frontend.divergences_fetcher,
+        );
+    }
+    println!();
+    println!(
+        "(rel DCF is computed against the DCF row once it has run; NoDCF is \
+         printed first for the Figure 6 comparison.)"
+    );
+}

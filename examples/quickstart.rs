@@ -1,0 +1,47 @@
+//! Quickstart: simulate one workload under the DCF baseline and U-ELF,
+//! and print the headline comparison.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use elf_sim::core::{SimConfig, Simulator};
+use elf_sim::frontend::{ElfVariant, FetchArch};
+use elf_sim::trace::workloads;
+
+fn main() {
+    // Pick the paper's headline workload: 641.leela (high branch MPKI).
+    let workload = workloads::by_name("641.leela").expect("registered workload");
+    println!("workload: {} ({:?} suite)", workload.name, workload.suite);
+
+    let mut results = Vec::new();
+    for arch in [FetchArch::Dcf, FetchArch::Elf(ElfVariant::U)] {
+        let mut sim = Simulator::for_workload(SimConfig::baseline(arch), &workload);
+        sim.warm_up(100_000); // fill predictors/BTB/caches, then reset stats
+        let stats = sim.run(200_000); // measured window
+        println!(
+            "{:>6}: IPC {:.3} | branch MPKI {:.1} | flushes/KI {:.1} | \
+             resteer→delivery {:.1} cycles",
+            arch.label(),
+            stats.ipc(),
+            stats.branch_mpki(),
+            stats.flush_pki(),
+            stats.frontend.mean_resteer_latency(),
+        );
+        results.push((arch.label(), stats));
+    }
+
+    let (base, elf) = (&results[0].1, &results[1].1);
+    println!();
+    println!(
+        "U-ELF speedup over DCF: {:+.2}%",
+        (elf.ipc() / base.ipc() - 1.0) * 100.0
+    );
+    println!(
+        "U-ELF spent {:.1}% of front-end cycles in coupled mode across {} \
+         coupled periods (avg {:.1} insts per period)",
+        elf.frontend.coupled_cycle_fraction() * 100.0,
+        elf.frontend.coupled_periods,
+        elf.frontend.avg_coupled_insts(),
+    );
+}

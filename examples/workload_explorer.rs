@@ -1,0 +1,72 @@
+//! Explore the Table I workload registry: static program shape and dynamic
+//! profile of every modeled benchmark (or one, if named).
+//!
+//! ```sh
+//! cargo run --release --example workload_explorer            # summary of all
+//! cargo run --release --example workload_explorer -- 433.milc
+//! cargo run --release --example workload_explorer -- --dot 641.leela > leela.dot
+//! cargo run --release --example workload_explorer -- --simpoints 641.leela
+//! ```
+
+use elf_sim::trace::oracle::DynProfile;
+use elf_sim::trace::{dot, simpoint, synthesize, workloads, Oracle};
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--dot") => {
+            let name = args.get(1).expect("--dot <workload>");
+            let w = workloads::by_name(name).expect("registered workload");
+            print!("{}", dot::to_dot(&synthesize(&w.spec), 200));
+            return;
+        }
+        Some("--simpoints") => {
+            let name = args.get(1).expect("--simpoints <workload>");
+            let w = workloads::by_name(name).expect("registered workload");
+            let prog = Arc::new(synthesize(&w.spec));
+            let mut oracle = Oracle::new(prog, w.spec.seed);
+            println!("{name}: representative 20k-instruction intervals (of 30):");
+            for p in simpoint::select(&mut oracle, 20_000, 30, 5) {
+                println!(
+                    "  interval @ {:>8} insts, weight {:.2}",
+                    p.start, p.weight
+                );
+            }
+            return;
+        }
+        _ => {}
+    }
+    let filter = args.first().cloned();
+    println!(
+        "{:>18} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8} {:>9}",
+        "workload", "code KB", "dyn KB", "cond/KI", "taken/KI", "ret/KI", "ind/KI", "mem/KI"
+    );
+    for w in workloads::all() {
+        if let Some(f) = &filter {
+            if w.name != f {
+                continue;
+            }
+        }
+        let prog = Arc::new(synthesize(&w.spec));
+        let mut oracle = Oracle::new(Arc::clone(&prog), w.spec.seed);
+        let p = DynProfile::collect(&mut oracle, 0, 120_000);
+        let ki = p.insts as f64 / 1000.0;
+        println!(
+            "{:>18} {:>9} {:>9} {:>8.0} {:>8.0} {:>8.1} {:>8.1} {:>9.0}",
+            w.name,
+            prog.code_bytes() / 1024,
+            p.code_footprint_bytes() / 1024,
+            p.conds as f64 / ki,
+            p.taken as f64 / ki,
+            p.returns as f64 / ki,
+            p.indirects as f64 / ki,
+            (p.loads + p.stores) as f64 / ki,
+        );
+    }
+    println!();
+    println!(
+        "code KB = static image size; dyn KB = unique code lines touched in \
+         the first 120k instructions (dynamic instruction footprint)."
+    );
+}

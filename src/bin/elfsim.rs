@@ -1,0 +1,110 @@
+//! `elfsim` — command-line driver for the ELF front-end simulator.
+//!
+//! ```text
+//! elfsim --list
+//! elfsim 641.leela                       # DCF baseline
+//! elfsim 641.leela u-elf                 # arch: nodcf|dcf|l|ret|ind|cond|u
+//! elfsim 641.leela u-elf --warmup 500000 --window 1000000
+//! elfsim 641.leela --compare             # all architectures side by side
+//! ```
+
+use elf_sim::core::{SimConfig, Simulator};
+use elf_sim::frontend::{ElfVariant, FetchArch};
+use elf_sim::trace::workloads;
+use std::process::ExitCode;
+
+fn parse_arch(s: &str) -> Option<FetchArch> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "nodcf" => FetchArch::NoDcf,
+        "dcf" => FetchArch::Dcf,
+        "l" | "l-elf" => FetchArch::Elf(ElfVariant::L),
+        "ret" | "ret-elf" => FetchArch::Elf(ElfVariant::Ret),
+        "ind" | "ind-elf" => FetchArch::Elf(ElfVariant::Ind),
+        "cond" | "cond-elf" => FetchArch::Elf(ElfVariant::Cond),
+        "u" | "u-elf" => FetchArch::Elf(ElfVariant::U),
+        _ => return None,
+    })
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: elfsim <workload> [arch] [--warmup N] [--window N] [--compare]\n\
+                elfsim --list\n\
+         arch: nodcf | dcf | l-elf | ret-elf | ind-elf | cond-elf | u-elf"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for w in workloads::all() {
+            println!("{:<20} {:?}", w.name, w.suite);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let Some(name) = args.first() else { return usage() };
+    let Some(workload) = workloads::by_name(name) else {
+        eprintln!("unknown workload {name:?} (try --list)");
+        return ExitCode::FAILURE;
+    };
+
+    let mut arch = FetchArch::Dcf;
+    let mut warmup = 200_000u64;
+    let mut window = 300_000u64;
+    let mut compare = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--warmup" | "--window" => {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                if args[i] == "--warmup" {
+                    warmup = v;
+                } else {
+                    window = v;
+                }
+                i += 2;
+            }
+            "--compare" => {
+                compare = true;
+                i += 1;
+            }
+            other => match parse_arch(other) {
+                Some(a) => {
+                    arch = a;
+                    i += 1;
+                }
+                None => return usage(),
+            },
+        }
+    }
+
+    let run = |arch: FetchArch| {
+        let mut sim = Simulator::for_workload(SimConfig::baseline(arch), &workload);
+        sim.warm_up(warmup);
+        sim.run(window)
+    };
+
+    if compare {
+        println!("{} — all architectures ({warmup} warmup, {window} window):", workload.name);
+        let mut archs = vec![FetchArch::NoDcf, FetchArch::Dcf];
+        archs.extend(ElfVariant::ALL.into_iter().map(FetchArch::Elf));
+        let mut base = None;
+        for a in archs {
+            let s = run(a);
+            if a == FetchArch::Dcf {
+                base = Some(s.ipc());
+            }
+            let rel = base.map_or_else(String::new, |b| format!(" ({:+.2}% vs DCF)", (s.ipc() / b - 1.0) * 100.0));
+            println!("  {:>9}: IPC {:.3}{rel}", a.label(), s.ipc());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    println!("{} under {} ({warmup} warmup, {window} window)", workload.name, arch.label());
+    println!();
+    print!("{}", run(arch).report());
+    ExitCode::SUCCESS
+}

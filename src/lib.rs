@@ -1,0 +1,17 @@
+//! Facade crate re-exporting the whole ELF simulator workspace.
+//!
+//! `elf-sim` is a cycle-level reproduction of **“Elastic Instruction
+//! Fetching”** (Perais et al., HPCA 2019). Downstream users normally depend
+//! on this crate and use the re-exported names; the underlying crates
+//! (`elf-types`, `elf-trace`, `elf-predictors`, `elf-btb`, `elf-mem`,
+//! `elf-frontend`, `elf-core`) are also published individually.
+//!
+//! See `examples/quickstart.rs` for a complete simulation in a dozen lines.
+
+pub use elf_btb as btb;
+pub use elf_core as core;
+pub use elf_frontend as frontend;
+pub use elf_mem as mem;
+pub use elf_predictors as predictors;
+pub use elf_trace as trace;
+pub use elf_types as types;
