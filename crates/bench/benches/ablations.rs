@@ -19,7 +19,7 @@ fn main() {
     for faq in [4usize, 8, 16, 32, 64] {
         let mut cfg = SimConfig::baseline(FetchArch::Dcf);
         cfg.frontend.faq_entries = faq;
-        let r = run_config(&w, cfg, p.warmup, p.window);
+        let r = run_config(&w, cfg, p.warmup, p.window).expect("run completes");
         println!(
             "  FAQ {faq:>3}: IPC {:.3}  prefetches {:>6}  FAQ occupancy {:>5.1}",
             r.ipc(),
@@ -36,7 +36,7 @@ fn main() {
     for l0 in [6usize, 12, 24, 48, 96] {
         let mut cfg = SimConfig::baseline(FetchArch::Dcf);
         cfg.frontend.btb.l0_entries = l0;
-        let r = run_config(&w, cfg, p.warmup, p.window);
+        let r = run_config(&w, cfg, p.warmup, p.window).expect("run completes");
         println!(
             "  L0 {l0:>3}: IPC {:.3}  BP bubbles/KI {}",
             r.ipc(),
@@ -50,11 +50,12 @@ fn main() {
     println!("COND-ELF saturation filter (641.leela and 620.omnetpp):");
     for name in ["641.leela", "620.omnetpp"] {
         let w = workloads::by_name(name).expect("registered");
-        let base = run_config(&w, SimConfig::baseline(FetchArch::Dcf), p.warmup, p.window);
+        let base = run_config(&w, SimConfig::baseline(FetchArch::Dcf), p.warmup, p.window)
+            .expect("baseline run completes");
         for (label, sat) in [("filter ON ", true), ("filter OFF", false)] {
             let mut cfg = SimConfig::baseline(FetchArch::Elf(ElfVariant::Cond));
             cfg.frontend.cond_requires_saturation = sat;
-            let r = run_config(&w, cfg, p.warmup, p.window);
+            let r = run_config(&w, cfg, p.warmup, p.window).expect("run completes");
             println!(
                 "  {name:>14} {label}: rel IPC {}  MPKI {}  coupled preds {}",
                 r3(r.ipc() / base.ipc()),
@@ -72,7 +73,7 @@ fn main() {
     for (label, pf) in [("prefetch ON ", true), ("prefetch OFF", false)] {
         let mut cfg = SimConfig::baseline(FetchArch::Dcf);
         cfg.frontend.ifetch_prefetch = pf;
-        let r = run_config(&w, cfg, p.warmup, p.window);
+        let r = run_config(&w, cfg, p.warmup, p.window).expect("run completes");
         println!(
             "  {label}: IPC {:.3}  L0I misses/KI {}  L1I misses/KI {}",
             r.ipc(),
@@ -88,14 +89,15 @@ fn main() {
     println!("Coupled conditional predictor (COND-ELF):");
     for name in ["641.leela", "620.omnetpp"] {
         let w = workloads::by_name(name).expect("registered");
-        let base = run_config(&w, SimConfig::baseline(FetchArch::Dcf), p.warmup, p.window);
+        let base = run_config(&w, SimConfig::baseline(FetchArch::Dcf), p.warmup, p.window)
+            .expect("baseline run completes");
         for (label, kind) in [
             ("bimodal (paper)", CoupledCondKind::Bimodal),
             ("gshare  (ext.) ", CoupledCondKind::Gshare { hist_bits: 10 }),
         ] {
             let mut cfg = SimConfig::baseline(FetchArch::Elf(ElfVariant::Cond));
             cfg.frontend.cpl_cond_kind = kind;
-            let r = run_config(&w, cfg, p.warmup, p.window);
+            let r = run_config(&w, cfg, p.warmup, p.window).expect("run completes");
             println!(
                 "  {name:>14} {label}: rel IPC {}  MPKI {}",
                 r3(r.ipc() / base.ipc()),
@@ -114,7 +116,7 @@ fn main() {
         for (label, probe) in [("probe OFF (paper)", false), ("probe ON  (ext.) ", true)] {
             let mut cfg = SimConfig::baseline(FetchArch::Dcf);
             cfg.frontend.btb_miss_probe = probe;
-            let r = run_config(&w, cfg, p.warmup, p.window);
+            let r = run_config(&w, cfg, p.warmup, p.window).expect("run completes");
             println!(
                 "  {name:>16} {label}: IPC {:.3}  proxy blocks/KI {}  recovered/KI {}",
                 r.ipc(),

@@ -27,9 +27,9 @@ fn main() {
         let members = workloads::suite_members(suite);
         let mut per_arch: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
         for w in &members {
-            let base = run_one(w, FetchArch::Dcf, p.warmup, p.window);
+            let base = run_one(w, FetchArch::Dcf, p.warmup, p.window).expect("baseline run completes");
             for (i, arch) in archs.iter().enumerate() {
-                let r = run_one(w, *arch, p.warmup, p.window);
+                let r = run_one(w, *arch, p.warmup, p.window).expect("run completes");
                 per_arch[i].push(r.ipc() / base.ipc());
             }
         }

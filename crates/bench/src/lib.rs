@@ -42,11 +42,15 @@ pub fn params(default_warmup: u64, default_window: u64) -> BenchParams {
 ///
 /// # Panics
 ///
-/// Panics if `name` is not in the Table I registry.
+/// Panics if `name` is not in the Table I registry, or if the simulation
+/// wedges (the registry workloads under paper configurations are known
+/// good, so a wedge here is a harness bug and the diagnostic report is
+/// printed via the panic message).
 #[must_use]
 pub fn measure(name: &str, arch: FetchArch, p: BenchParams) -> RunResult {
     let w = workloads::by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
     run_one(&w, arch, p.warmup, p.window)
+        .unwrap_or_else(|e| panic!("bench run {name}/{arch:?} failed:\n{e}"))
 }
 
 /// Where CSV copies of the regenerated figures land.

@@ -317,6 +317,7 @@ impl Backend {
             if back.b.fid <= boundary_fid {
                 break;
             }
+            // invariant: the while-let binding proves the ROB is non-empty.
             let e = self.rob.pop_back().expect("checked above");
             note(e.b.seq);
             self.release_entry(&e);
@@ -602,6 +603,7 @@ impl Backend {
                     cause: FlushCause::Mispredict,
                     boundary_fid: b.fid,
                     restart_pc: b.next_pc,
+                    // invariant: is_bound() was checked in the guard above.
                     cursor_target: b.seq.expect("bound") + 1,
                     apply_at: now + u64::from(self.cfg.redirect_latency),
                     raw_pair: None,
@@ -628,6 +630,8 @@ impl Backend {
                                 cause: FlushCause::RawHazard,
                                 boundary_fid: l.b.fid - 1,
                                 restart_pc: l.b.sinst.pc,
+                                // invariant: l.b.is_bound() is part of the
+                                // aliasing-load condition above.
                                 cursor_target: l.b.seq.expect("bound"),
                                 apply_at: now + u64::from(self.cfg.redirect_latency),
                                 raw_pair: Some((l.b.sinst.pc, b.sinst.pc)),
@@ -665,6 +669,8 @@ impl Backend {
             apply_at: now,
             raw_pair: None,
         });
+        // invariant: the pending flush installed above has apply_at ==
+        // now, so apply_flush always returns Some here.
         self.apply_flush(now).expect("watchdog flush applies immediately")
     }
 
@@ -702,6 +708,7 @@ impl Backend {
             if back.b.fid <= p.boundary_fid {
                 break;
             }
+            // invariant: the while-let binding proves the ROB is non-empty.
             let e = self.rob.pop_back().expect("checked above");
             note(e.b.seq);
             self.release_entry(&e);
@@ -766,6 +773,7 @@ impl Backend {
             if self.pending.is_some_and(|p| head.b.fid > p.boundary_fid) {
                 break;
             }
+            // invariant: the while-let binding proves the ROB is non-empty.
             let e = self.rob.pop_front().expect("checked above");
             self.release_entry(&e);
             if e.b.sinst.class == InstClass::Store {

@@ -1,5 +1,7 @@
 //! Simulator configuration (Table II).
 
+use crate::error::SimError;
+use crate::fault::FaultPlan;
 use elf_frontend::{FetchArch, FrontendConfig};
 use elf_mem::MemConfig;
 
@@ -93,6 +95,24 @@ pub struct SimConfig {
     pub mem: MemConfig,
     /// Back-end parameters.
     pub backend: BackendConfig,
+    /// Forward-progress cap: `Simulator::run(n)` returns
+    /// [`SimError::Wedged`] if `progress_cap_base + n *
+    /// progress_cap_per_inst` cycles elapse before `n` instructions
+    /// retire. The cap bounds runaway simulations (a wedged pipeline, a
+    /// pathological configuration) — at the baseline IPC of ~1-3 a healthy
+    /// run stays far below it. Default 200_000.
+    pub progress_cap_base: u64,
+    /// Per-instruction component of the forward-progress cap (cycles per
+    /// targeted retirement; effectively a minimum tolerated IPC of
+    /// 1/`progress_cap_per_inst`). Default 400.
+    pub progress_cap_per_inst: u64,
+    /// Optional deterministic fault-injection schedule. `None` (the
+    /// default) injects nothing and leaves simulation bit-identical to a
+    /// plan-free build.
+    pub fault: Option<FaultPlan>,
+    /// Flight-recorder capacity: how many recent pipeline events are
+    /// retained for diagnostic reports (0 disables retention). Default 64.
+    pub recorder_events: usize,
 }
 
 impl SimConfig {
@@ -104,6 +124,49 @@ impl SimConfig {
             frontend: FrontendConfig::paper(),
             mem: MemConfig::paper(),
             backend: BackendConfig::paper(),
+            progress_cap_base: 200_000,
+            progress_cap_per_inst: 400,
+            fault: None,
+            recorder_events: 64,
+        }
+    }
+
+    /// Checks that the configuration describes a runnable machine.
+    ///
+    /// These are the structural mistakes reachable from the public
+    /// construction API (zero-width pipelines, a cap that can never be
+    /// met); deeper geometry checks stay as asserts inside the components
+    /// that own them.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let mut problems = Vec::new();
+        if self.frontend.fetch_width == 0 {
+            problems.push("frontend.fetch_width must be at least 1");
+        }
+        if self.backend.rob_entries == 0 {
+            problems.push("backend.rob_entries must be at least 1");
+        }
+        if self.backend.commit_width == 0 {
+            problems.push("backend.commit_width must be at least 1");
+        }
+        if self.backend.rename_width == 0 {
+            problems.push("backend.rename_width must be at least 1");
+        }
+        if self.backend.dispatch_q_entries == 0 {
+            problems.push("backend.dispatch_q_entries must be at least 1");
+        }
+        if self.backend.alu_ports == 0 {
+            problems.push("backend.alu_ports must be at least 1");
+        }
+        if self.backend.ldst_ports == 0 {
+            problems.push("backend.ldst_ports must be at least 1");
+        }
+        if self.progress_cap_base == 0 && self.progress_cap_per_inst == 0 {
+            problems.push("progress cap is zero: every run would report a wedge immediately");
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(SimError::InvalidConfig { reason: problems.join("; ") })
         }
     }
 }
@@ -142,5 +205,19 @@ mod tests {
         assert_eq!(c.arch, FetchArch::Dcf);
         assert_eq!(c.frontend.fetch_width, 8);
         assert_eq!(c.mem.dram_latency, 250);
+        assert_eq!(c.progress_cap_base, 200_000);
+        assert_eq!(c.progress_cap_per_inst, 400);
+        assert!(c.fault.is_none());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_width_machines() {
+        let mut c = SimConfig::baseline(FetchArch::Dcf);
+        c.backend.rob_entries = 0;
+        c.backend.commit_width = 0;
+        let err = c.validate().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("rob_entries") && msg.contains("commit_width"), "{msg}");
     }
 }

@@ -1,0 +1,131 @@
+//! Typed simulator errors and structured crash diagnostics.
+//!
+//! The simulator never aborts the process on model-level failures:
+//! [`crate::sim::Simulator::run`] returns a [`SimError`] carrying a
+//! [`DiagnosticReport`] — the machine state at failure plus the flight
+//! recorder's event tail — so a wedge is a reproducible bug report, not a
+//! stack trace.
+
+use crate::recorder::TimedEvent;
+use elf_trace::validate::ProgramIssue;
+use elf_types::{Cycle, SeqNum};
+
+/// Machine state captured when the simulator fails.
+#[derive(Debug, Clone)]
+pub struct DiagnosticReport {
+    /// Cycle at failure.
+    pub cycle: Cycle,
+    /// Instructions retired since the last stats reset.
+    pub retired: u64,
+    /// Retirement target of the failing `run` call.
+    pub target: u64,
+    /// Next correct-path sequence number the path tracker expected.
+    pub cursor: SeqNum,
+    /// Whether delivery was off the correct path at failure.
+    pub wrong_path: bool,
+    /// One-line front-end state summary (`Frontend::debug_state`).
+    pub frontend_state: String,
+    /// Instructions in the reorder buffer.
+    pub rob_len: usize,
+    /// One-line description of the ROB head.
+    pub rob_head: String,
+    /// Whether the back-end had nothing in flight.
+    pub backend_empty: bool,
+    /// Faults injected so far, indexed by
+    /// [`crate::fault::FaultKind::index`].
+    pub faults_injected: [u64; 4],
+    /// Flight-recorder tail, oldest first.
+    pub events: Vec<TimedEvent>,
+}
+
+impl std::fmt::Display for DiagnosticReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "=== simulator diagnostic report ===")?;
+        writeln!(f, "cycle        : {}", self.cycle)?;
+        writeln!(f, "retired      : {} of {} targeted", self.retired, self.target)?;
+        writeln!(f, "oracle cursor: seq {} (wrong path: {})", self.cursor, self.wrong_path)?;
+        writeln!(f, "front-end    : {}", self.frontend_state)?;
+        writeln!(
+            f,
+            "back-end     : rob={} empty={} head: {}",
+            self.rob_len, self.backend_empty, self.rob_head
+        )?;
+        if self.faults_injected.iter().any(|&c| c > 0) {
+            writeln!(
+                f,
+                "faults       : flush={} btb={} icache={} mispredict={}",
+                self.faults_injected[0],
+                self.faults_injected[1],
+                self.faults_injected[2],
+                self.faults_injected[3],
+            )?;
+        }
+        if self.events.is_empty() {
+            writeln!(f, "flight recorder: (no events retained)")?;
+        } else {
+            writeln!(f, "flight recorder (last {} events):", self.events.len())?;
+            for e in &self.events {
+                writeln!(f, "  {e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a simulation could not proceed.
+#[derive(Debug, Clone)]
+pub enum SimError {
+    /// The pipeline stopped making forward progress within the configured
+    /// cycle cap (`SimConfig::progress_cap_base` / `_per_inst`).
+    Wedged(Box<DiagnosticReport>),
+    /// The program failed structural validation before simulation.
+    MalformedProgram {
+        /// Program name.
+        program: String,
+        /// Every issue found.
+        issues: Vec<ProgramIssue>,
+    },
+    /// The configuration cannot describe a runnable machine.
+    InvalidConfig {
+        /// What is wrong with it.
+        reason: String,
+    },
+}
+
+impl SimError {
+    /// The diagnostic report, when the error carries one.
+    #[must_use]
+    pub fn report(&self) -> Option<&DiagnosticReport> {
+        match self {
+            SimError::Wedged(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Wedged(report) => {
+                writeln!(
+                    f,
+                    "simulator wedged: {} retired of {} at cycle {}",
+                    report.retired, report.target, report.cycle
+                )?;
+                write!(f, "{report}")
+            }
+            SimError::MalformedProgram { program, issues } => {
+                writeln!(f, "program {program:?} failed validation ({} issues):", issues.len())?;
+                for issue in issues {
+                    writeln!(f, "  - {issue:?}")?;
+                }
+                Ok(())
+            }
+            SimError::InvalidConfig { reason } => {
+                write!(f, "invalid simulator configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -2,6 +2,7 @@
 //! speedups and geomeans, and format figure/table output.
 
 use crate::config::SimConfig;
+use crate::error::SimError;
 use crate::sim::Simulator;
 use crate::stats::SimStats;
 use elf_frontend::FetchArch;
@@ -28,22 +29,40 @@ impl RunResult {
 
 /// Runs one workload under one architecture: `warmup` instructions of
 /// warm-up, then `window` measured instructions.
-#[must_use]
-pub fn run_one(w: &Workload, arch: FetchArch, warmup: u64, window: u64) -> RunResult {
+///
+/// # Errors
+///
+/// Propagates [`SimError::Wedged`] if either phase exhausts its
+/// forward-progress cap.
+pub fn run_one(
+    w: &Workload,
+    arch: FetchArch,
+    warmup: u64,
+    window: u64,
+) -> Result<RunResult, SimError> {
     let mut sim = Simulator::for_workload(SimConfig::baseline(arch), w);
-    sim.warm_up(warmup);
-    let stats = sim.run(window);
-    RunResult { workload: w.name.to_owned(), arch: arch.label().to_owned(), stats }
+    sim.warm_up(warmup)?;
+    let stats = sim.run(window)?;
+    Ok(RunResult { workload: w.name.to_owned(), arch: arch.label().to_owned(), stats })
 }
 
 /// Runs one workload under one explicit configuration.
-#[must_use]
-pub fn run_config(w: &Workload, cfg: SimConfig, warmup: u64, window: u64) -> RunResult {
+///
+/// # Errors
+///
+/// Propagates [`SimError::Wedged`] if either phase exhausts its
+/// forward-progress cap.
+pub fn run_config(
+    w: &Workload,
+    cfg: SimConfig,
+    warmup: u64,
+    window: u64,
+) -> Result<RunResult, SimError> {
     let arch = cfg.arch;
     let mut sim = Simulator::for_workload(cfg, w);
-    sim.warm_up(warmup);
-    let stats = sim.run(window);
-    RunResult { workload: w.name.to_owned(), arch: arch.label().to_owned(), stats }
+    sim.warm_up(warmup)?;
+    let stats = sim.run(window)?;
+    Ok(RunResult { workload: w.name.to_owned(), arch: arch.label().to_owned(), stats })
 }
 
 /// IPC estimated from SimPoint-selected intervals: the simulator runs all
@@ -51,7 +70,11 @@ pub fn run_config(w: &Workload, cfg: SimConfig, warmup: u64, window: u64) -> Run
 /// recorded per interval, and the selected intervals' IPCs are combined by
 /// cluster weight — the §V-A methodology in miniature. Returns
 /// `(weighted_ipc, full_ipc)` so callers can check the approximation.
-#[must_use]
+///
+/// # Errors
+///
+/// Propagates [`SimError::Wedged`] if any interval exhausts its
+/// forward-progress cap.
 pub fn simpoint_ipc(
     w: &Workload,
     arch: FetchArch,
@@ -59,7 +82,7 @@ pub fn simpoint_ipc(
     interval_len: u64,
     n_intervals: usize,
     k: usize,
-) -> (f64, f64) {
+) -> Result<(f64, f64), SimError> {
     use elf_trace::{simpoint, synthesize, Oracle};
     use std::sync::Arc;
 
@@ -68,13 +91,13 @@ pub fn simpoint_ipc(
     let points = simpoint::select_from(&mut oracle, warmup, interval_len, n_intervals, k);
 
     let mut sim = Simulator::from_program(SimConfig::baseline(arch), prog, w.spec.seed);
-    sim.warm_up(warmup);
+    sim.warm_up(warmup)?;
     let mut interval_ipc = Vec::with_capacity(n_intervals);
     let mut total_insts = 0u64;
     let mut total_cycles = 0u64;
     for _ in 0..n_intervals {
         let c0 = sim.cycle();
-        sim.run(interval_len);
+        sim.run(interval_len)?;
         let dc = sim.cycle() - c0;
         interval_ipc.push(interval_len as f64 / dc.max(1) as f64);
         total_insts += interval_len;
@@ -84,7 +107,7 @@ pub fn simpoint_ipc(
         .iter()
         .map(|p| p.weight * interval_ipc[((p.start - warmup) / interval_len) as usize])
         .sum();
-    (weighted, total_insts as f64 / total_cycles.max(1) as f64)
+    Ok((weighted, total_insts as f64 / total_cycles.max(1) as f64))
 }
 
 /// Geometric mean of a slice of positive values (1.0 for an empty slice).
@@ -157,14 +180,15 @@ mod tests {
     #[test]
     fn speedup_is_ipc_ratio() {
         let w = workloads::by_name("619.lbm").unwrap();
-        let base = run_one(&w, FetchArch::Dcf, 5_000, 10_000);
+        let base = run_one(&w, FetchArch::Dcf, 5_000, 10_000).expect("clean run");
         assert!((speedup(&base, &base) - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn simpoint_ipc_approximates_the_full_run() {
         let w = workloads::by_name("641.leela").unwrap();
-        let (weighted, full) = simpoint_ipc(&w, FetchArch::Dcf, 60_000, 10_000, 10, 4);
+        let (weighted, full) =
+            simpoint_ipc(&w, FetchArch::Dcf, 60_000, 10_000, 10, 4).expect("clean run");
         assert!(weighted > 0.0 && full > 0.0);
         let err = (weighted - full).abs() / full;
         assert!(err < 0.25, "simpoint estimate off by {:.0}%", err * 100.0);

@@ -13,7 +13,7 @@
 //!
 //! let w = workloads::by_name("641.leela").unwrap();
 //! let mut sim = Simulator::for_workload(SimConfig::baseline(FetchArch::Dcf), &w);
-//! let stats = sim.run(20_000);
+//! let stats = sim.run(20_000).expect("run completes");
 //! assert!(stats.ipc() > 0.1);
 //! ```
 
@@ -21,13 +21,19 @@
 
 pub mod backend;
 pub mod config;
+pub mod error;
 pub mod experiment;
+pub mod fault;
 pub mod histogram;
 pub mod memdep;
+pub mod recorder;
 pub mod sim;
 pub mod stats;
 
 pub use config::{BackendConfig, SimConfig};
+pub use error::{DiagnosticReport, SimError};
 pub use experiment::{geomean, RunResult};
+pub use fault::{FaultKind, FaultPlan};
+pub use recorder::{FlightRecorder, PipelineEvent, TimedEvent};
 pub use sim::Simulator;
 pub use stats::SimStats;

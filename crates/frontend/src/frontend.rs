@@ -292,16 +292,22 @@ impl Frontend {
         self.faq.mean_occupancy()
     }
 
+    /// Current FAQ occupancy in blocks (0 for non-DCF architectures).
+    #[must_use]
+    pub fn faq_len(&self) -> usize {
+        self.faq.len()
+    }
+
     /// Resets statistics after warm-up.
     pub fn reset_stats(&mut self) {
         self.stats = FrontendStats::default();
         self.btb.reset_stats();
     }
 
-    /// Installs a BTB entry directly, bypassing retirement — test hook for
-    /// the stale-BTB (self-modifying-code) divergence cases of §IV-C2,
-    /// which no synthetic workload produces naturally.
-    #[doc(hidden)]
+    /// Installs a BTB entry directly, bypassing retirement. Used by the
+    /// stale-BTB (self-modifying-code) divergence tests of §IV-C2 and by
+    /// the fault injector's BTB-corruption fault, neither of which any
+    /// synthetic workload produces naturally.
     pub fn inject_btb_entry(&mut self, entry: BtbEntry) {
         self.btb.overwrite(entry);
     }
@@ -915,6 +921,7 @@ impl Frontend {
         if !ready {
             return;
         }
+        // invariant: `ready` above proves the queue has a due front.
         let group = self.groups.pop_front().expect("checked above");
         match (self.arch, group.mode) {
             (FetchArch::NoDcf, _) => self.decode_nodcf(prog, &group, cycle, out),
@@ -1008,6 +1015,8 @@ impl Frontend {
         cycle: Cycle,
         out: &mut TickOutput,
     ) {
+        // invariant: only the ELF architectures ever enqueue groups in
+        // coupled mode, so the variant is always present here.
         let variant = self.elf_variant().expect("coupled groups only exist under ELF");
         for gi in &group.insts {
             let sinst = prog.inst_or_nop(gi.pc);

@@ -110,6 +110,24 @@ impl Cache {
         self.sets[si].iter().any(|w| w.tag == tag)
     }
 
+    /// Removes the line containing `addr` if resident (external
+    /// invalidation / fault injection). Returns whether a line was
+    /// dropped. Dirty victims are counted as writebacks, like capacity
+    /// evictions.
+    pub fn evict(&mut self, addr: Addr) -> bool {
+        let (si, tag) = self.decompose(addr);
+        let set = &mut self.sets[si];
+        if let Some(i) = set.iter().position(|w| w.tag == tag) {
+            let victim = set.swap_remove(i);
+            if victim.dirty {
+                self.writebacks += 1;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
     /// Marks the line containing `addr` dirty (a store hit). No-op if the
     /// line is absent.
     pub fn mark_dirty(&mut self, addr: Addr) {

@@ -142,6 +142,18 @@ impl MemorySystem {
         self.l0i.probe(pc)
     }
 
+    /// Evicts the instruction line holding `pc` from the instruction-side
+    /// hierarchy (L0I, L1I, and the shared L2), so the next fetch of it
+    /// pays at least L3 latency. Models an external invalidation; used by
+    /// the fault injector's delayed-I-cache fault. Returns whether any
+    /// level held the line.
+    pub fn evict_inst_line(&mut self, pc: Addr) -> bool {
+        let l0 = self.l0i.evict(pc);
+        let l1 = self.l1i.evict(pc);
+        let l2 = self.l2.evict(pc);
+        l0 | l1 | l2
+    }
+
     /// Demand instruction fetch: returns the latency to data in cycles,
     /// filling all instruction-side levels on the way back.
     pub fn fetch(&mut self, pc: Addr, now: Cycle) -> u32 {

@@ -115,7 +115,7 @@ mod tests {
     use super::*;
     use crate::behavior::{AddrModel, DirectionModel};
     use crate::program::DATA_BASE;
-    use crate::synth::{synthesize, ProgramSpec};
+    use crate::synth::synthesize;
     use crate::workloads;
     use elf_types::{InstClass, StaticInst};
 

@@ -613,7 +613,7 @@ mod tests {
         let pf = prof(&fp);
         let density = |p: &DynProfile| p.conds as f64 / p.insts as f64;
         assert!(
-            density(&pb) > 1.5 * density(&pf),
+            density(&pb) > 1.3 * density(&pf),
             "leela cond density {} vs lbm {}",
             density(&pb),
             density(&pf)

@@ -31,8 +31,8 @@ fn main() {
     let mut base_ipc = None;
     for arch in archs {
         let mut sim = Simulator::for_workload(SimConfig::baseline(arch), &workload);
-        sim.warm_up(150_000);
-        let s = sim.run(250_000);
+        sim.warm_up(150_000).expect("warm-up completes");
+        let s = sim.run(250_000).expect("run completes");
         if arch == FetchArch::Dcf {
             base_ipc = Some(s.ipc());
         }

@@ -17,8 +17,8 @@ fn main() {
     let mut results = Vec::new();
     for arch in [FetchArch::Dcf, FetchArch::Elf(ElfVariant::U)] {
         let mut sim = Simulator::for_workload(SimConfig::baseline(arch), &workload);
-        sim.warm_up(100_000); // fill predictors/BTB/caches, then reset stats
-        let stats = sim.run(200_000); // measured window
+        sim.warm_up(100_000).expect("warm-up completes"); // fill predictors/BTB/caches, then reset stats
+        let stats = sim.run(200_000).expect("run completes"); // measured window
         println!(
             "{:>6}: IPC {:.3} | branch MPKI {:.1} | flushes/KI {:.1} | \
              resteer→delivery {:.1} cycles",

@@ -6,12 +6,22 @@
 //! elfsim 641.leela u-elf                 # arch: nodcf|dcf|l|ret|ind|cond|u
 //! elfsim 641.leela u-elf --warmup 500000 --window 1000000
 //! elfsim 641.leela --compare             # all architectures side by side
+//! elfsim 641.leela u-elf --inject flush=50,btb=20 --seed 7
 //! ```
+//!
+//! Exit codes: 0 success, 1 simulation error (wedge / malformed program,
+//! with a diagnostic report on stderr), 2 usage error.
 
-use elf_sim::core::{SimConfig, Simulator};
+use elf_sim::core::{FaultKind, FaultPlan, SimConfig, SimError, Simulator};
 use elf_sim::frontend::{ElfVariant, FetchArch};
-use elf_sim::trace::workloads;
+use elf_sim::trace::{synthesize, workloads};
 use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Usage mistakes (unknown flag, bad value, trailing junk).
+const EXIT_USAGE: u8 = 2;
+/// The simulation itself failed (wedge, malformed program).
+const EXIT_SIM: u8 = 1;
 
 fn parse_arch(s: &str) -> Option<FetchArch> {
     Some(match s.to_ascii_lowercase().as_str() {
@@ -26,85 +36,173 @@ fn parse_arch(s: &str) -> Option<FetchArch> {
     })
 }
 
-fn usage() -> ExitCode {
+/// Parses `--inject` specs like `flush=50`, `btb=20,icache=10` or `all=40`
+/// (rates are injections per 100k cycles).
+fn parse_inject(spec: &str, seed: u64) -> Option<FaultPlan> {
+    let mut plan = FaultPlan::new(seed);
+    for part in spec.split(',') {
+        let (kind, rate) = part.split_once('=')?;
+        let rate: u32 = rate.parse().ok()?;
+        if kind == "all" {
+            for k in FaultKind::ALL {
+                plan = plan.with(k, rate);
+            }
+        } else {
+            plan = plan.with(kind.parse().ok()?, rate);
+        }
+    }
+    Some(plan)
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("error: {problem}");
     eprintln!(
-        "usage: elfsim <workload> [arch] [--warmup N] [--window N] [--compare]\n\
+        "usage: elfsim <workload> [arch] [--warmup N] [--window N] [--seed N]\n\
+                       [--inject KIND=RATE[,KIND=RATE...]] [--compare]\n\
                 elfsim --list\n\
-         arch: nodcf | dcf | l-elf | ret-elf | ind-elf | cond-elf | u-elf"
+         arch: nodcf | dcf | l-elf | ret-elf | ind-elf | cond-elf | u-elf\n\
+         inject kinds: flush | btb | icache | mispredict | all \
+         (RATE per 100k cycles)"
     );
-    ExitCode::FAILURE
+    ExitCode::from(EXIT_USAGE)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--list") {
+        if args.len() > 1 {
+            return usage("--list takes no other arguments");
+        }
         for w in workloads::all() {
             println!("{:<20} {:?}", w.name, w.suite);
         }
         return ExitCode::SUCCESS;
     }
-    let Some(name) = args.first() else { return usage() };
-    let Some(workload) = workloads::by_name(name) else {
-        eprintln!("unknown workload {name:?} (try --list)");
-        return ExitCode::FAILURE;
-    };
 
-    let mut arch = FetchArch::Dcf;
+    let mut positionals: Vec<&str> = Vec::new();
     let mut warmup = 200_000u64;
     let mut window = 300_000u64;
+    let mut seed: Option<u64> = None;
+    let mut inject: Option<String> = None;
     let mut compare = false;
-    let mut i = 1;
+    let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--warmup" | "--window" => {
+            "--warmup" | "--window" | "--seed" => {
+                let flag = args[i].as_str();
                 let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
-                    return usage();
+                    return usage(&format!("{flag} needs an unsigned integer value"));
                 };
-                if args[i] == "--warmup" {
-                    warmup = v;
-                } else {
-                    window = v;
+                match flag {
+                    "--warmup" => warmup = v,
+                    "--window" => window = v,
+                    _ => seed = Some(v),
                 }
+                i += 2;
+            }
+            "--inject" => {
+                let Some(v) = args.get(i + 1) else {
+                    return usage("--inject needs a KIND=RATE spec");
+                };
+                inject = Some(v.clone());
                 i += 2;
             }
             "--compare" => {
                 compare = true;
                 i += 1;
             }
-            other => match parse_arch(other) {
-                Some(a) => {
-                    arch = a;
-                    i += 1;
-                }
-                None => return usage(),
-            },
+            flag if flag.starts_with('-') => {
+                return usage(&format!("unknown flag {flag:?}"));
+            }
+            positional => {
+                positionals.push(positional);
+                i += 1;
+            }
         }
     }
 
-    let run = |arch: FetchArch| {
-        let mut sim = Simulator::for_workload(SimConfig::baseline(arch), &workload);
-        sim.warm_up(warmup);
-        sim.run(window)
+    let (name, arch) = match positionals.as_slice() {
+        [] => return usage("missing workload name (try --list)"),
+        [name] => (*name, FetchArch::Dcf),
+        [name, arch] => match parse_arch(arch) {
+            Some(a) => (*name, a),
+            None => return usage(&format!("unknown architecture {arch:?}")),
+        },
+        [_, _, junk, ..] => {
+            return usage(&format!("unexpected trailing argument {junk:?}"));
+        }
+    };
+    let Some(workload) = workloads::by_name(name) else {
+        return usage(&format!("unknown workload {name:?} (try --list)"));
     };
 
+    let mut spec = workload.spec.clone();
+    if let Some(s) = seed {
+        spec.seed = s;
+    }
+    let fault = match &inject {
+        Some(raw) => match parse_inject(raw, seed.unwrap_or(spec.seed)) {
+            Some(plan) => Some(plan),
+            None => return usage(&format!("bad --inject spec {raw:?}")),
+        },
+        None => None,
+    };
+
+    // Synthesize once and validate up front: a malformed image is reported
+    // as a structured error before any cycles are burned.
+    let prog = Arc::new(synthesize(&spec));
+    let run = |arch: FetchArch| -> Result<_, SimError> {
+        let mut cfg = SimConfig::baseline(arch);
+        cfg.fault = fault;
+        let mut sim = Simulator::try_from_program(cfg, Arc::clone(&prog), spec.seed)?;
+        sim.warm_up(warmup)?;
+        sim.run(window)
+    };
+    let injected = inject
+        .as_ref()
+        .map_or_else(String::new, |s| format!(", injecting {s}"));
+
     if compare {
-        println!("{} — all architectures ({warmup} warmup, {window} window):", workload.name);
+        println!(
+            "{} — all architectures ({warmup} warmup, {window} window{injected}):",
+            workload.name
+        );
         let mut archs = vec![FetchArch::NoDcf, FetchArch::Dcf];
         archs.extend(ElfVariant::ALL.into_iter().map(FetchArch::Elf));
         let mut base = None;
         for a in archs {
-            let s = run(a);
+            let s = match run(a) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{}: {e}", a.label());
+                    return ExitCode::from(EXIT_SIM);
+                }
+            };
             if a == FetchArch::Dcf {
                 base = Some(s.ipc());
             }
-            let rel = base.map_or_else(String::new, |b| format!(" ({:+.2}% vs DCF)", (s.ipc() / b - 1.0) * 100.0));
+            let rel = base.map_or_else(String::new, |b| {
+                format!(" ({:+.2}% vs DCF)", (s.ipc() / b - 1.0) * 100.0)
+            });
             println!("  {:>9}: IPC {:.3}{rel}", a.label(), s.ipc());
         }
         return ExitCode::SUCCESS;
     }
 
-    println!("{} under {} ({warmup} warmup, {window} window)", workload.name, arch.label());
+    println!(
+        "{} under {} ({warmup} warmup, {window} window{injected})",
+        workload.name,
+        arch.label()
+    );
     println!();
-    print!("{}", run(arch).report());
-    ExitCode::SUCCESS
+    match run(arch) {
+        Ok(s) => {
+            print!("{}", s.report());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(EXIT_SIM)
+        }
+    }
 }

@@ -21,7 +21,7 @@ fn every_architecture_completes_a_branchy_workload() {
     let w = workloads::by_name("641.leela").expect("registered");
     for arch in ALL_ARCHS {
         let mut sim = Simulator::for_workload(SimConfig::baseline(arch), &w);
-        let s = sim.run(30_000);
+        let s = sim.run(30_000).expect("run completes");
         assert!(s.retired >= 30_000, "{arch:?}");
         assert!(s.ipc() > 0.1 && s.ipc() < 8.0, "{arch:?} IPC {}", s.ipc());
     }
@@ -32,7 +32,7 @@ fn every_architecture_completes_a_server_workload() {
     let w = workloads::by_name("server2_subtest2").expect("registered");
     for arch in [FetchArch::Dcf, FetchArch::Elf(ElfVariant::Ret), FetchArch::Elf(ElfVariant::U)] {
         let mut sim = Simulator::for_workload(SimConfig::baseline(arch), &w);
-        let s = sim.run(30_000);
+        let s = sim.run(30_000).expect("run completes");
         assert!(s.retired >= 30_000, "{arch:?}");
         assert!(s.returns > 100, "{arch:?}: recursion workload must retire returns");
     }
@@ -43,7 +43,7 @@ fn results_are_deterministic() {
     let w = workloads::by_name("648.exchange2").expect("registered");
     let run = |arch| {
         let mut sim = Simulator::for_workload(SimConfig::baseline(arch), &w);
-        let s = sim.run(25_000);
+        let s = sim.run(25_000).expect("run completes");
         (s.cycles, s.retired, s.cond_mispredicts, s.backend.mispredict_flushes)
     };
     for arch in [FetchArch::Dcf, FetchArch::Elf(ElfVariant::U)] {
@@ -59,7 +59,7 @@ fn architectural_results_do_not_depend_on_the_fetch_architecture() {
     let w = workloads::by_name("602.gcc").expect("registered");
     let profile = |arch| {
         let mut sim = Simulator::for_workload(SimConfig::baseline(arch), &w);
-        let s = sim.run(25_000);
+        let s = sim.run(25_000).expect("run completes");
         (s.retired, s.taken_branches, s.returns)
     };
     let a = profile(FetchArch::NoDcf);
@@ -79,12 +79,12 @@ fn architectural_results_do_not_depend_on_the_fetch_architecture() {
 fn warmup_resets_measurement_windows() {
     let w = workloads::by_name("619.lbm").expect("registered");
     let mut sim = Simulator::for_workload(SimConfig::baseline(FetchArch::Dcf), &w);
-    sim.warm_up(20_000);
+    sim.warm_up(20_000).expect("warm-up completes");
     let s0 = sim.stats();
     assert_eq!(s0.retired, 0);
     assert_eq!(s0.cycles, 0);
     assert_eq!(s0.backend.mispredict_flushes, 0);
-    let s = sim.run(15_000);
+    let s = sim.run(15_000).expect("run completes");
     assert!(s.retired >= 15_000);
 }
 
@@ -93,8 +93,8 @@ fn fp_workloads_have_low_mpki_and_branchy_ones_high() {
     let mpki = |name: &str| {
         let w = workloads::by_name(name).expect("registered");
         let mut sim = Simulator::for_workload(SimConfig::baseline(FetchArch::Dcf), &w);
-        sim.warm_up(40_000);
-        sim.run(40_000).branch_mpki()
+        sim.warm_up(40_000).expect("warm-up completes");
+        sim.run(40_000).expect("run completes").branch_mpki()
     };
     let lbm = mpki("619.lbm");
     let leela = mpki("641.leela");
@@ -112,8 +112,8 @@ fn elf_recovers_from_resteers_faster_than_dcf() {
     let w = workloads::by_name("641.leela").expect("registered");
     let latency = |arch| {
         let mut sim = Simulator::for_workload(SimConfig::baseline(arch), &w);
-        sim.warm_up(40_000);
-        sim.run(40_000).frontend.mean_resteer_latency()
+        sim.warm_up(40_000).expect("warm-up completes");
+        sim.run(40_000).expect("run completes").frontend.mean_resteer_latency()
     };
     let dcf = latency(FetchArch::Dcf);
     let elf = latency(FetchArch::Elf(ElfVariant::U));
@@ -129,8 +129,8 @@ fn dcf_prefetches_instructions_and_nodcf_cannot() {
     let w = workloads::by_name("server1_subtest1").expect("registered");
     let pf = |arch| {
         let mut sim = Simulator::for_workload(SimConfig::baseline(arch), &w);
-        sim.warm_up(30_000);
-        sim.run(30_000).frontend.faq_prefetches
+        sim.warm_up(30_000).expect("warm-up completes");
+        sim.run(30_000).expect("run completes").frontend.faq_prefetches
     };
     assert!(pf(FetchArch::Dcf) > 100, "large-footprint workload must prefetch");
     assert_eq!(pf(FetchArch::NoDcf), 0, "NoDCF has no FAQ to prefetch from");
@@ -141,8 +141,8 @@ fn elf_coupled_mode_is_transient() {
     let w = workloads::by_name("620.omnetpp").expect("registered");
     let mut sim =
         Simulator::for_workload(SimConfig::baseline(FetchArch::Elf(ElfVariant::U)), &w);
-    sim.warm_up(30_000);
-    let s = sim.run(40_000);
+    sim.warm_up(30_000).expect("warm-up completes");
+    let s = sim.run(40_000).expect("run completes");
     assert!(s.frontend.coupled_periods > 10);
     assert!(
         s.frontend.coupled_cycle_fraction() < 0.6,
@@ -158,8 +158,8 @@ fn gshare_coupled_predictor_extension_runs_end_to_end() {
     let mut cfg = SimConfig::baseline(FetchArch::Elf(ElfVariant::Cond));
     cfg.frontend.cpl_cond_kind = CoupledCondKind::Gshare { hist_bits: 10 };
     let mut sim = Simulator::for_workload(cfg, &w);
-    sim.warm_up(25_000);
-    let s = sim.run(25_000);
+    sim.warm_up(25_000).expect("warm-up completes");
+    let s = sim.run(25_000).expect("run completes");
     assert!(s.retired >= 25_000);
     assert!(
         s.frontend.cpl_bimodal_preds > 0,
@@ -174,8 +174,8 @@ fn boomerang_probe_extension_reduces_proxy_blocks() {
         let mut cfg = SimConfig::baseline(FetchArch::Dcf);
         cfg.frontend.btb_miss_probe = probe;
         let mut sim = Simulator::for_workload(cfg, &w);
-        sim.warm_up(25_000);
-        let s = sim.run(25_000);
+        sim.warm_up(25_000).expect("warm-up completes");
+        let s = sim.run(25_000).expect("run completes");
         (s.frontend.btb_miss_blocks, s.frontend.boomerang_blocks)
     };
     let (proxies_off, boom_off) = run(false);

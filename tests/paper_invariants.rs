@@ -83,8 +83,8 @@ fn btb_hit_rates_are_cumulative_and_low_on_server1() {
     let rates = |name: &str| {
         let w = workloads::by_name(name).expect("registered");
         let mut sim = Simulator::for_workload(SimConfig::baseline(FetchArch::Dcf), &w);
-        sim.warm_up(60_000);
-        let s = sim.run(60_000);
+        sim.warm_up(60_000).expect("warm-up completes");
+        let s = sim.run(60_000).expect("run completes");
         [
             s.btb.hit_rate_through(0),
             s.btb.hit_rate_through(1),
@@ -108,8 +108,8 @@ fn elf_variants_only_speculate_past_what_they_predict() {
     let w = workloads::by_name("server2_subtest2").expect("registered");
     let stats = |v: ElfVariant| {
         let mut sim = Simulator::for_workload(SimConfig::baseline(FetchArch::Elf(v)), &w);
-        sim.warm_up(30_000);
-        sim.run(30_000).frontend
+        sim.warm_up(30_000).expect("warm-up completes");
+        sim.run(30_000).expect("run completes").frontend
     };
     let l = stats(ElfVariant::L);
     assert_eq!(l.cpl_bimodal_preds, 0, "L-ELF has no coupled predictors");
@@ -130,8 +130,8 @@ fn recovery_latency_ordering_matches_figure3() {
     let w = workloads::by_name("641.leela").expect("registered");
     let lat = |arch| {
         let mut sim = Simulator::for_workload(SimConfig::baseline(arch), &w);
-        sim.warm_up(40_000);
-        sim.run(30_000).frontend.mean_resteer_latency()
+        sim.warm_up(40_000).expect("warm-up completes");
+        sim.run(30_000).expect("run completes").frontend.mean_resteer_latency()
     };
     let dcf = lat(FetchArch::Dcf);
     let nodcf = lat(FetchArch::NoDcf);
@@ -148,8 +148,8 @@ fn uelf_divergence_machinery_is_exercised_on_bimodal_hostile_code() {
     let w = workloads::by_name("620.omnetpp").expect("registered");
     let mut sim =
         Simulator::for_workload(SimConfig::baseline(FetchArch::Elf(ElfVariant::U)), &w);
-    sim.warm_up(60_000);
-    let s = sim.run(60_000);
+    sim.warm_up(60_000).expect("warm-up completes");
+    let s = sim.run(60_000).expect("run completes");
     assert!(
         s.frontend.divergences_dcf + s.frontend.divergences_fetcher > 0,
         "no divergences detected on a bimodal-hostile workload"

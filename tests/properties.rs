@@ -3,7 +3,7 @@
 //! simulator makes forward progress on arbitrary workloads under every
 //! fetch architecture.
 
-use elf_sim::core::{SimConfig, Simulator};
+use elf_sim::core::{FaultKind, FaultPlan, SimConfig, SimError, Simulator};
 use elf_sim::frontend::{ElfVariant, FetchArch};
 use elf_sim::trace::synth::{CondProfile, MemProfile, ProgramSpec};
 use elf_sim::trace::{synthesize, Oracle};
@@ -78,7 +78,7 @@ proptest! {
             FetchArch::Elf(ElfVariant::U),
         ][arch_sel];
         let mut sim = Simulator::new(SimConfig::baseline(arch), &spec);
-        let s = sim.run(5_000);
+        let s = sim.run(5_000).expect("forward progress");
         prop_assert!(s.retired >= 5_000);
         prop_assert!(s.ipc() > 0.01);
     }
@@ -87,7 +87,7 @@ proptest! {
     fn retired_branch_counts_are_arch_invariant(spec in arb_spec()) {
         let profile = |arch| {
             let mut sim = Simulator::new(SimConfig::baseline(arch), &spec);
-            let st = sim.run(4_000);
+            let st = sim.run(4_000).expect("forward progress");
             (st.taken_branches, st.returns)
         };
         let a = profile(FetchArch::Dcf);
@@ -95,5 +95,51 @@ proptest! {
         // Stop-point overshoot allows small differences only.
         prop_assert!(a.0.abs_diff(b.0) <= 32, "taken {a:?} vs {b:?}");
         prop_assert!(a.1.abs_diff(b.1) <= 32, "returns {a:?} vs {b:?}");
+    }
+
+    /// Any seeded fault plan on any workload and fetch architecture either
+    /// completes or returns a structured wedge — never a panic, never a
+    /// silent hang (the progress cap bounds the run).
+    #[test]
+    fn fault_injection_never_panics_or_hangs(
+        spec in arb_spec(),
+        arch_sel in 0usize..7,
+        fault_seed in 0u64..1_000_000,
+        rates in (0u32..2_000, 0u32..2_000, 0u32..2_000, 0u32..2_000),
+    ) {
+        let arch = [
+            FetchArch::Dcf,
+            FetchArch::NoDcf,
+            FetchArch::Elf(ElfVariant::L),
+            FetchArch::Elf(ElfVariant::Ret),
+            FetchArch::Elf(ElfVariant::Ind),
+            FetchArch::Elf(ElfVariant::Cond),
+            FetchArch::Elf(ElfVariant::U),
+        ][arch_sel];
+        let mut cfg = SimConfig::baseline(arch);
+        cfg.fault = Some(
+            FaultPlan::new(fault_seed)
+                .with(FaultKind::SpuriousFlush, rates.0)
+                .with(FaultKind::CorruptBtb, rates.1)
+                .with(FaultKind::EvictIcache, rates.2)
+                .with(FaultKind::ForceMispredict, rates.3),
+        );
+        // Keep the worst case bounded so a wedge comes back quickly.
+        cfg.progress_cap_base = 60_000;
+        cfg.progress_cap_per_inst = 0;
+        let mut sim = Simulator::new(cfg, &spec);
+        match sim.run(3_000) {
+            Ok(s) => {
+                prop_assert!(s.retired >= 3_000);
+                prop_assert!(s.retired <= s.frontend.delivered);
+            }
+            Err(SimError::Wedged(report)) => {
+                prop_assert!(report.cycle > 0, "wedge at cycle zero");
+                prop_assert!(report.retired < report.target);
+            }
+            Err(other) => {
+                return Err(TestCaseError::fail(format!("unexpected error: {other}")));
+            }
+        }
     }
 }
