@@ -6,3 +6,11 @@ cd "$(dirname "$0")/.."
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Smoke: a checkpointed run must resume from its snapshot (end-to-end
+# through the CLI; bit-identity is pinned by tests/checkpoint.rs).
+ckpt="$(mktemp -d)/smoke.ckpt"
+./target/release/elfsim 641.leela u-elf --warmup 5000 --window 20000 \
+    --checkpoint-every 8000 --checkpoint-file "$ckpt" >/dev/null
+./target/release/elfsim --resume "$ckpt" --window 30000 >/dev/null
+rm -f "$ckpt"

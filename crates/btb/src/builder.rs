@@ -121,6 +121,22 @@ impl BtbBuilder {
     pub fn pending(&self) -> Option<&BtbEntry> {
         self.cur.as_ref()
     }
+
+    /// Serializes the in-flight entry.
+    pub fn save_state(&self, w: &mut elf_types::SnapWriter) {
+        use elf_types::Snap;
+        self.cur.save(w);
+    }
+
+    /// Restores state saved by [`BtbBuilder::save_state`].
+    pub fn load_state(
+        &mut self,
+        r: &mut elf_types::SnapReader<'_>,
+    ) -> Result<(), elf_types::SnapError> {
+        use elf_types::Snap;
+        self.cur = Snap::load(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -202,6 +202,51 @@ impl BtbHierarchy {
     pub fn occupancy(&self) -> (usize, usize, usize) {
         (self.l0.occupancy(), self.l1.occupancy(), self.l2.occupancy())
     }
+
+    /// Serializes the full hierarchy (all three levels plus counters).
+    pub fn save_state(&self, w: &mut elf_types::SnapWriter) {
+        use elf_types::Snap;
+        self.l0.save_state(w);
+        self.l1.save_state(w);
+        self.l2.save_state(w);
+        self.stats.save(w);
+    }
+
+    /// Restores state saved by [`BtbHierarchy::save_state`] into a
+    /// hierarchy of the same geometry.
+    pub fn load_state(
+        &mut self,
+        r: &mut elf_types::SnapReader<'_>,
+    ) -> Result<(), elf_types::SnapError> {
+        use elf_types::Snap;
+        self.l0.load_state(r)?;
+        self.l1.load_state(r)?;
+        self.l2.load_state(r)?;
+        self.stats = Snap::load(r)?;
+        Ok(())
+    }
+}
+
+impl elf_types::Snap for BtbStats {
+    fn save(&self, w: &mut elf_types::SnapWriter) {
+        self.lookups.save(w);
+        self.l0_hits.save(w);
+        self.l1_hits.save(w);
+        self.l2_hits.save(w);
+        self.misses.save(w);
+        self.installs.save(w);
+    }
+    fn load(r: &mut elf_types::SnapReader<'_>) -> Result<Self, elf_types::SnapError> {
+        use elf_types::Snap;
+        Ok(BtbStats {
+            lookups: Snap::load(r)?,
+            l0_hits: Snap::load(r)?,
+            l1_hits: Snap::load(r)?,
+            l2_hits: Snap::load(r)?,
+            misses: Snap::load(r)?,
+            installs: Snap::load(r)?,
+        })
+    }
 }
 
 #[cfg(test)]

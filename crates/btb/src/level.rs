@@ -106,6 +106,56 @@ impl BtbLevel {
     pub fn capacity(&self) -> usize {
         self.sets.len() * self.ways
     }
+
+    /// Serializes the level's content including per-way LRU stamps and the
+    /// exact in-set order (replacement uses `swap_remove`, so order affects
+    /// future evictions and must round-trip bit-exactly).
+    pub fn save_state(&self, w: &mut elf_types::SnapWriter) {
+        use elf_types::Snap;
+        w.u64(self.sets.len() as u64);
+        for set in &self.sets {
+            w.u64(set.len() as u64);
+            for way in set {
+                way.entry.save(w);
+                way.last_use.save(w);
+            }
+        }
+        self.tick.save(w);
+    }
+
+    /// Restores content saved by [`BtbLevel::save_state`] into a level of
+    /// the same geometry.
+    pub fn load_state(
+        &mut self,
+        r: &mut elf_types::SnapReader<'_>,
+    ) -> Result<(), elf_types::SnapError> {
+        use elf_types::{Snap, SnapError};
+        let nsets = r.u64("btb set count")? as usize;
+        if nsets != self.sets.len() {
+            return Err(SnapError::mismatch(format!(
+                "btb {} set count {nsets} != {}",
+                self.name,
+                self.sets.len()
+            )));
+        }
+        for set in &mut self.sets {
+            let n = r.u64("btb set size")? as usize;
+            if n > self.ways {
+                return Err(SnapError::mismatch(format!(
+                    "btb {} set holds {n} ways > {}",
+                    self.name, self.ways
+                )));
+            }
+            set.clear();
+            for _ in 0..n {
+                let entry: BtbEntry = Snap::load(r)?;
+                let last_use: u64 = Snap::load(r)?;
+                set.push(Way { entry, last_use });
+            }
+        }
+        self.tick = Snap::load(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -47,11 +47,66 @@ impl BoundInst {
     }
 }
 
+impl elf_types::Snap for BoundInst {
+    fn save(&self, w: &mut elf_types::SnapWriter) {
+        self.fid.save(w);
+        self.sinst.save(w);
+        self.seq.save(w);
+        self.mode.save(w);
+        self.pred.save(w);
+        self.taken.save(w);
+        self.next_pc.save(w);
+        self.mem_addr.save(w);
+        self.mispredicted.save(w);
+    }
+    fn load(r: &mut elf_types::SnapReader<'_>) -> Result<Self, elf_types::SnapError> {
+        use elf_types::Snap;
+        Ok(BoundInst {
+            fid: Snap::load(r)?,
+            sinst: Snap::load(r)?,
+            seq: Snap::load(r)?,
+            mode: Snap::load(r)?,
+            pred: Snap::load(r)?,
+            taken: Snap::load(r)?,
+            next_pc: Snap::load(r)?,
+            mem_addr: Snap::load(r)?,
+            mispredicted: Snap::load(r)?,
+        })
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ExecState {
     Waiting,
     Executing { done: Cycle },
     Done,
+}
+
+impl elf_types::Snap for ExecState {
+    fn save(&self, w: &mut elf_types::SnapWriter) {
+        match self {
+            ExecState::Waiting => w.u8(0),
+            ExecState::Executing { done } => {
+                w.u8(1);
+                done.save(w);
+            }
+            ExecState::Done => w.u8(2),
+        }
+    }
+    fn load(r: &mut elf_types::SnapReader<'_>) -> Result<Self, elf_types::SnapError> {
+        use elf_types::Snap;
+        Ok(match r.u8("exec state tag")? {
+            0 => ExecState::Waiting,
+            1 => ExecState::Executing { done: Snap::load(r)? },
+            2 => ExecState::Done,
+            tag => {
+                return Err(elf_types::SnapError::BadTag {
+                    what: "exec state tag",
+                    tag: u64::from(tag),
+                })
+            }
+        })
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -62,6 +117,26 @@ struct RobEntry {
     /// Producers (register or predicted-store) not yet complete.
     deps_left: u8,
     issued: bool,
+}
+
+impl elf_types::Snap for RobEntry {
+    fn save(&self, w: &mut elf_types::SnapWriter) {
+        self.b.save(w);
+        self.state.save(w);
+        self.wait_store_fid.save(w);
+        self.deps_left.save(w);
+        self.issued.save(w);
+    }
+    fn load(r: &mut elf_types::SnapReader<'_>) -> Result<Self, elf_types::SnapError> {
+        use elf_types::Snap;
+        Ok(RobEntry {
+            b: Snap::load(r)?,
+            state: Snap::load(r)?,
+            wait_store_fid: Snap::load(r)?,
+            deps_left: Snap::load(r)?,
+            issued: Snap::load(r)?,
+        })
+    }
 }
 
 /// Why a pipeline flush was requested.
@@ -75,6 +150,29 @@ pub enum FlushCause {
     Watchdog,
 }
 
+impl elf_types::Snap for FlushCause {
+    fn save(&self, w: &mut elf_types::SnapWriter) {
+        w.u8(match self {
+            FlushCause::Mispredict => 0,
+            FlushCause::RawHazard => 1,
+            FlushCause::Watchdog => 2,
+        });
+    }
+    fn load(r: &mut elf_types::SnapReader<'_>) -> Result<Self, elf_types::SnapError> {
+        Ok(match r.u8("flush cause tag")? {
+            0 => FlushCause::Mispredict,
+            1 => FlushCause::RawHazard,
+            2 => FlushCause::Watchdog,
+            tag => {
+                return Err(elf_types::SnapError::BadTag {
+                    what: "flush cause tag",
+                    tag: u64::from(tag),
+                })
+            }
+        })
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct PendingFlush {
     cause: FlushCause,
@@ -83,6 +181,28 @@ struct PendingFlush {
     cursor_target: SeqNum,
     apply_at: Cycle,
     raw_pair: Option<(Addr, Addr)>, // (load_pc, store_pc)
+}
+
+impl elf_types::Snap for PendingFlush {
+    fn save(&self, w: &mut elf_types::SnapWriter) {
+        self.cause.save(w);
+        self.boundary_fid.save(w);
+        self.restart_pc.save(w);
+        self.cursor_target.save(w);
+        self.apply_at.save(w);
+        self.raw_pair.save(w);
+    }
+    fn load(r: &mut elf_types::SnapReader<'_>) -> Result<Self, elf_types::SnapError> {
+        use elf_types::Snap;
+        Ok(PendingFlush {
+            cause: Snap::load(r)?,
+            boundary_fid: Snap::load(r)?,
+            restart_pc: Snap::load(r)?,
+            cursor_target: Snap::load(r)?,
+            apply_at: Snap::load(r)?,
+            raw_pair: Snap::load(r)?,
+        })
+    }
 }
 
 /// A flush that was just applied; the simulator forwards it to the
@@ -113,7 +233,7 @@ pub struct RetiredInst {
 }
 
 /// Per-backend statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BackendStats {
     /// Instructions dispatched into the ROB.
     pub dispatched: u64,
@@ -131,6 +251,32 @@ pub struct BackendStats {
     pub rob_full_cycles: u64,
     /// Store-to-load forwards.
     pub forwards: u64,
+}
+
+impl elf_types::Snap for BackendStats {
+    fn save(&self, w: &mut elf_types::SnapWriter) {
+        self.dispatched.save(w);
+        self.retired.save(w);
+        self.squashed.save(w);
+        self.mispredict_flushes.save(w);
+        self.raw_flushes.save(w);
+        self.watchdog_flushes.save(w);
+        self.rob_full_cycles.save(w);
+        self.forwards.save(w);
+    }
+    fn load(r: &mut elf_types::SnapReader<'_>) -> Result<Self, elf_types::SnapError> {
+        use elf_types::Snap;
+        Ok(BackendStats {
+            dispatched: Snap::load(r)?,
+            retired: Snap::load(r)?,
+            squashed: Snap::load(r)?,
+            mispredict_flushes: Snap::load(r)?,
+            raw_flushes: Snap::load(r)?,
+            watchdog_flushes: Snap::load(r)?,
+            rob_full_cycles: Snap::load(r)?,
+            forwards: Snap::load(r)?,
+        })
+    }
 }
 
 /// The out-of-order back-end.
@@ -802,6 +948,78 @@ impl Backend {
     #[must_use]
     pub fn rob_len(&self) -> usize {
         self.rob.len()
+    }
+
+    /// Serializes the complete back-end state: ROB, dispatch queue, rename
+    /// map, resource counters, scheduler structures, memory-dependence
+    /// table, pending flush, statistics and the watchdog timer.
+    ///
+    /// The completion heap is written as a sorted vector ([`BinaryHeap`]
+    /// iteration order is unspecified) and the issue-stage scratch buffer
+    /// is transient, so neither perturbs determinism. The configuration is
+    /// not written: restore requires a back-end built from the same config.
+    pub fn save_state(&self, w: &mut elf_types::SnapWriter) {
+        use elf_types::Snap;
+        self.rob.save(w);
+        self.dispatch_q.save(w);
+        self.reg_map.save(w);
+        self.prf_used.save(w);
+        self.lsq_used.save(w);
+        self.iq_used.save(w);
+        (self.ready.len() as u64).save(w);
+        for fid in &self.ready {
+            fid.save(w);
+        }
+        self.wakeup.save(w);
+        let mut heap: Vec<(Cycle, u64)> = self.exec_heap.iter().map(|Reverse(p)| *p).collect();
+        heap.sort_unstable();
+        heap.save(w);
+        self.memdep.save_state(w);
+        self.pending.save(w);
+        self.stats.save(w);
+        self.head_stuck_since.save(w);
+    }
+
+    /// Restores state saved by [`Backend::save_state`] into a back-end
+    /// built from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`elf_types::SnapError`] on truncated bytes or an ROB that
+    /// does not fit this configuration.
+    pub fn load_state(
+        &mut self,
+        r: &mut elf_types::SnapReader<'_>,
+    ) -> Result<(), elf_types::SnapError> {
+        use elf_types::{Snap, SnapError};
+        let rob: VecDeque<RobEntry> = Snap::load(r)?;
+        if rob.len() > self.cfg.rob_entries {
+            return Err(SnapError::mismatch(format!(
+                "ROB holds {} entries > capacity {}",
+                rob.len(),
+                self.cfg.rob_entries
+            )));
+        }
+        self.rob = rob;
+        self.dispatch_q = Snap::load(r)?;
+        self.reg_map = Snap::load(r)?;
+        self.prf_used = Snap::load(r)?;
+        self.lsq_used = Snap::load(r)?;
+        self.iq_used = Snap::load(r)?;
+        let n_ready = r.count("ready set")?;
+        self.ready.clear();
+        for _ in 0..n_ready {
+            self.ready.insert(Snap::load(r)?);
+        }
+        self.wakeup = Snap::load(r)?;
+        let heap: Vec<(Cycle, u64)> = Snap::load(r)?;
+        self.exec_heap = heap.into_iter().map(Reverse).collect();
+        self.memdep.load_state(r)?;
+        self.pending = Snap::load(r)?;
+        self.stats = Snap::load(r)?;
+        self.head_stuck_since = Snap::load(r)?;
+        self.scratch.clear();
+        Ok(())
     }
 
     /// Diagnostic dump of the oldest ROB entries.

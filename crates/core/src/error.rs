@@ -90,6 +90,12 @@ pub enum SimError {
         /// What is wrong with it.
         reason: String,
     },
+    /// A checkpoint snapshot could not be written, read or decoded.
+    Snapshot {
+        /// What went wrong (I/O failure, bad magic/version, truncated or
+        /// mismatched state bytes).
+        reason: String,
+    },
 }
 
 impl SimError {
@@ -123,6 +129,9 @@ impl std::fmt::Display for SimError {
             }
             SimError::InvalidConfig { reason } => {
                 write!(f, "invalid simulator configuration: {reason}")
+            }
+            SimError::Snapshot { reason } => {
+                write!(f, "checkpoint snapshot error: {reason}")
             }
         }
     }

@@ -87,6 +87,19 @@ impl std::fmt::Display for FaultKind {
     }
 }
 
+impl elf_types::Snap for FaultKind {
+    fn save(&self, w: &mut elf_types::SnapWriter) {
+        w.u8(self.index() as u8);
+    }
+    fn load(r: &mut elf_types::SnapReader<'_>) -> Result<Self, elf_types::SnapError> {
+        let tag = r.u8("fault kind")?;
+        FaultKind::ALL
+            .into_iter()
+            .find(|k| k.index() == usize::from(tag))
+            .ok_or(elf_types::SnapError::BadTag { what: "fault kind", tag: u64::from(tag) })
+    }
+}
+
 /// A seeded, deterministic fault-injection schedule.
 ///
 /// Rates are expressed as mean injections per 100k cycles; `0` disables a
@@ -206,6 +219,30 @@ impl FaultInjector {
     /// Cumulative injections per kind since construction.
     pub(crate) fn counts(&self) -> [u64; 4] {
         self.counts
+    }
+
+    /// Serializes the injector's random-stream position, per-kind
+    /// next-fire cycles and injection counts. The plan itself is part of
+    /// the simulator configuration and is not written here.
+    pub(crate) fn save_state(&self, w: &mut elf_types::SnapWriter) {
+        use elf_types::Snap;
+        self.rng.save(w);
+        self.next_fire.save(w);
+        self.counts.save(w);
+    }
+
+    /// Restores state saved by [`FaultInjector::save_state`] into an
+    /// injector built from the same plan, so the post-restore injection
+    /// schedule continues bit-identically.
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut elf_types::SnapReader<'_>,
+    ) -> Result<(), elf_types::SnapError> {
+        use elf_types::Snap;
+        self.rng = Snap::load(r)?;
+        self.next_fire = Snap::load(r)?;
+        self.counts = Snap::load(r)?;
+        Ok(())
     }
 }
 

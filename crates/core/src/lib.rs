@@ -28,12 +28,16 @@ pub mod histogram;
 pub mod memdep;
 pub mod recorder;
 pub mod sim;
+pub mod snapshot;
 pub mod stats;
 
 pub use config::{BackendConfig, SimConfig};
 pub use error::{DiagnosticReport, SimError};
-pub use experiment::{geomean, RunResult};
+pub use experiment::{
+    geomean, run_grid, CellError, CellFailure, GridCell, GridOptions, GridReport, RunResult,
+};
 pub use fault::{FaultKind, FaultPlan};
 pub use recorder::{FlightRecorder, PipelineEvent, TimedEvent};
 pub use sim::Simulator;
+pub use snapshot::Snapshot;
 pub use stats::SimStats;

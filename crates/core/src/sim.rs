@@ -24,6 +24,10 @@ use std::sync::Arc;
 /// The simulator: one core, one workload.
 #[derive(Debug)]
 pub struct Simulator {
+    /// The configuration the machine was built from (kept for
+    /// checkpointing: a snapshot embeds it so restore rebuilds the same
+    /// geometry).
+    cfg: SimConfig,
     prog: Arc<Program>,
     oracle: Oracle,
     fe: Frontend,
@@ -73,25 +77,20 @@ pub struct Simulator {
 impl Simulator {
     /// Builds a simulator from an already-synthesized program.
     ///
-    /// In debug builds the program is structurally validated
-    /// (`elf_trace::validate`) and an invalid one panics immediately with
-    /// the issue list — a malformed hand-built image should fail at
-    /// construction, not as a confusing wedge mid-run. Release builds
-    /// skip the check; use [`Simulator::try_from_program`] to validate
-    /// unconditionally and handle failures as values.
+    /// Infallible convenience wrapper for *pre-validated* programs
+    /// (registry workloads, `synthesize` output): it routes through
+    /// [`Simulator::try_from_program`] — so configuration and program are
+    /// validated in every build profile — and panics with the structured
+    /// [`SimError`] if validation fails. A malformed hand-built image
+    /// should fail loudly at construction, not as a confusing wedge
+    /// mid-run; to handle the failure as a value instead, call
+    /// `try_from_program` directly.
     #[must_use]
     pub fn from_program(cfg: SimConfig, prog: Arc<Program>, seed: u64) -> Self {
-        #[cfg(debug_assertions)]
-        {
-            let issues = elf_trace::validate::validate(&prog);
-            assert!(
-                issues.is_empty(),
-                "malformed program {:?}: {issues:?}\n(use Simulator::try_from_program to \
-                 handle this as a SimError instead)",
-                prog.name(),
-            );
+        match Simulator::try_from_program(cfg, prog, seed) {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
         }
-        Simulator::build(cfg, prog, seed)
     }
 
     /// Builds a simulator, validating the configuration and the program
@@ -141,6 +140,7 @@ impl Simulator {
             trace_watchdogs: std::env::var("ELF_TRACE_WD").is_ok(),
             rob_occupancy: Histogram::new(cfg.backend.rob_entries),
             delivery_rate: Histogram::new(cfg.frontend.fetch_width * 2),
+            cfg,
             retired: 0,
             cond_branches: 0,
             cond_mispredicts: 0,
@@ -152,22 +152,49 @@ impl Simulator {
         }
     }
 
-    /// Synthesizes the program described by `spec` and builds a simulator.
+    /// Synthesizes the program described by `spec` and builds a simulator
+    /// (validating both; see [`Simulator::from_program`] for the panic
+    /// contract).
     #[must_use]
     pub fn new(cfg: SimConfig, spec: &ProgramSpec) -> Self {
         Simulator::from_program(cfg, Arc::new(synthesize(spec)), spec.seed)
     }
 
-    /// Builds a simulator for a registry workload.
+    /// Builds a simulator for a registry workload (validating the
+    /// configuration and synthesized program; see
+    /// [`Simulator::from_program`] for the panic contract).
     #[must_use]
     pub fn for_workload(cfg: SimConfig, w: &Workload) -> Self {
         Simulator::new(cfg, &w.spec)
+    }
+
+    /// Builds a simulator for a registry workload, validating the
+    /// configuration and the synthesized program in every build profile
+    /// (the fallible counterpart of [`Simulator::for_workload`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] or [`SimError::MalformedProgram`].
+    pub fn try_for_workload(cfg: SimConfig, w: &Workload) -> Result<Self, SimError> {
+        Simulator::try_from_program(cfg, Arc::new(synthesize(&w.spec)), w.spec.seed)
     }
 
     /// The simulated program.
     #[must_use]
     pub fn program(&self) -> &Arc<Program> {
         &self.prog
+    }
+
+    /// The configuration the simulator was built from.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Instructions retired since the last statistics reset.
+    #[must_use]
+    pub fn retired(&self) -> u64 {
+        self.retired
     }
 
     /// Current cycle.
@@ -291,7 +318,136 @@ impl Simulator {
             faq_occupancy: self.fe.faq_mean_occupancy(),
             caches: self.mem.cache_stats(),
             memdep: self.be.memdep_stats(),
+            recorder_dropped: self.recorder.dropped(),
         }
+    }
+
+    /// Captures the complete machine state as a restorable
+    /// [`crate::snapshot::Snapshot`] (configuration + program + every
+    /// dynamic structure). Restoring it — in this process or another —
+    /// and running yields a bit-identical continuation of this run.
+    #[must_use]
+    pub fn checkpoint(&self) -> crate::snapshot::Snapshot {
+        let mut w = elf_types::SnapWriter::new();
+        self.save_state(&mut w);
+        crate::snapshot::Snapshot {
+            version: crate::snapshot::SNAPSHOT_VERSION,
+            cfg: self.cfg.clone(),
+            prog: Arc::clone(&self.prog),
+            cycle: self.cycle,
+            retired: self.retired,
+            state: w.into_bytes(),
+        }
+    }
+
+    /// Builds a fresh simulator from a snapshot's embedded configuration
+    /// and program, then restores its dynamic state, continuing the
+    /// checkpointed run bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] / [`SimError::MalformedProgram`]
+    /// if the embedded configuration or program fails validation, or
+    /// [`SimError::Snapshot`] if the state bytes are truncated, corrupt or
+    /// disagree with the configuration's geometry.
+    pub fn restore(snap: &crate::snapshot::Snapshot) -> Result<Self, SimError> {
+        // The oracle seed is irrelevant: load_state overwrites the RNG
+        // position with the checkpointed one.
+        let mut sim = Simulator::try_from_program(snap.cfg.clone(), Arc::clone(&snap.prog), 0)?;
+        let mut r = elf_types::SnapReader::new(&snap.state);
+        sim.load_state(&mut r)
+            .map_err(|e| SimError::Snapshot { reason: e.to_string() })?;
+        if r.remaining() != 0 {
+            return Err(SimError::Snapshot {
+                reason: format!("{} trailing bytes after simulator state", r.remaining()),
+            });
+        }
+        Ok(sim)
+    }
+
+    /// Serializes every dynamic structure: oracle, front-end (predictors,
+    /// BTBs, FAQ, divergence tracker), back-end, memory system, path
+    /// tracker, fault injector, flight recorder, statistic counters and
+    /// histograms. Environment-derived tracing flags and the
+    /// diagnostics-only `recent` ring are not state and are skipped.
+    fn save_state(&self, w: &mut elf_types::SnapWriter) {
+        use elf_types::Snap;
+        self.oracle.save_state(w);
+        self.fe.save_state(w);
+        self.be.save_state(w);
+        self.mem.save_state(w);
+        self.cycle.save(w);
+        self.cursor.save(w);
+        self.wrong_path.save(w);
+        self.retired_seq.save(w);
+        self.last_progress.save(w);
+        self.recorder.save_state(w);
+        match &self.injector {
+            None => w.u8(0),
+            Some(inj) => {
+                w.u8(1);
+                inj.save_state(w);
+            }
+        }
+        self.force_misp_pending.save(w);
+        self.prev_coupled.save(w);
+        self.prev_faq_empty.save(w);
+        self.retired.save(w);
+        self.cond_branches.save(w);
+        self.cond_mispredicts.save(w);
+        self.branches.save(w);
+        self.taken_branches.save(w);
+        self.returns.save(w);
+        self.indirect_mispredicts.save(w);
+        self.stat_cycle_base.save(w);
+        self.rob_occupancy.save_state(w);
+        self.delivery_rate.save_state(w);
+    }
+
+    /// Restores state saved by `save_state` into a simulator built from
+    /// the same configuration and program.
+    fn load_state(
+        &mut self,
+        r: &mut elf_types::SnapReader<'_>,
+    ) -> Result<(), elf_types::SnapError> {
+        use elf_types::{Snap, SnapError};
+        self.oracle.load_state(r)?;
+        self.fe.load_state(r)?;
+        self.be.load_state(r)?;
+        self.mem.load_state(r)?;
+        self.cycle = Snap::load(r)?;
+        self.cursor = Snap::load(r)?;
+        self.wrong_path = Snap::load(r)?;
+        self.retired_seq = Snap::load(r)?;
+        self.last_progress = Snap::load(r)?;
+        self.recorder.load_state(r)?;
+        let inj_tag = r.u8("fault injector tag")?;
+        match (&mut self.injector, inj_tag) {
+            (None, 0) => {}
+            (Some(inj), 1) => inj.load_state(r)?,
+            (inj, tag) => {
+                return Err(SnapError::mismatch(format!(
+                    "snapshot fault-injector presence (tag {tag}) does not match the \
+                     configuration (injector {})",
+                    if inj.is_some() { "present" } else { "absent" }
+                )))
+            }
+        }
+        self.force_misp_pending = Snap::load(r)?;
+        self.prev_coupled = Snap::load(r)?;
+        self.prev_faq_empty = Snap::load(r)?;
+        self.retired = Snap::load(r)?;
+        self.cond_branches = Snap::load(r)?;
+        self.cond_mispredicts = Snap::load(r)?;
+        self.branches = Snap::load(r)?;
+        self.taken_branches = Snap::load(r)?;
+        self.returns = Snap::load(r)?;
+        self.indirect_mispredicts = Snap::load(r)?;
+        self.stat_cycle_base = Snap::load(r)?;
+        self.rob_occupancy.load_state(r)?;
+        self.delivery_rate.load_state(r)?;
+        self.recent.clear();
+        Ok(())
     }
 
     fn tick(&mut self) {

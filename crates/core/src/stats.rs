@@ -6,7 +6,7 @@ use elf_frontend::FrontendStats;
 use elf_mem::MemStats;
 
 /// Everything measured over a simulation window (after warm-up reset).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Cycles simulated.
     pub cycles: u64,
@@ -38,6 +38,11 @@ pub struct SimStats {
     pub caches: [(u64, u64); 5],
     /// Memory-dependence predictor (trainings, hits).
     pub memdep: (u64, u64),
+    /// Flight-recorder events no longer retained (ring saturation),
+    /// cumulative since construction — nonzero means diagnostic reports
+    /// show a truncated event history and a larger
+    /// `SimConfig::recorder_events` would retain more context.
+    pub recorder_dropped: u64,
 }
 
 impl SimStats {

@@ -228,6 +228,86 @@ impl DivergenceTracker {
     pub fn divergences(&self) -> u64 {
         self.divergences
     }
+
+    /// Serializes both bitvectors, both target queues and the divergence
+    /// counter.
+    pub fn save_state(&self, w: &mut elf_types::SnapWriter) {
+        use elf_types::Snap;
+        w.u64(self.coupled_vec.len() as u64);
+        for c in &self.coupled_vec {
+            c.slot.save(w);
+            c.fid.save(w);
+            c.pc.save(w);
+        }
+        w.u64(self.decoupled_vec.len() as u64);
+        for d in &self.decoupled_vec {
+            d.slot.save(w);
+            d.proxy.save(w);
+            d.target.save(w);
+        }
+        self.coupled_tq.save(w);
+        self.decoupled_tq.save(w);
+        self.divergences.save(w);
+    }
+
+    /// Restores state saved by [`DivergenceTracker::save_state`] into a
+    /// tracker with the same capacities.
+    pub fn load_state(
+        &mut self,
+        r: &mut elf_types::SnapReader<'_>,
+    ) -> Result<(), elf_types::SnapError> {
+        use elf_types::{Snap, SnapError};
+        let nc = r.count("coupled bitvector")?;
+        if nc > self.vec_capacity {
+            return Err(SnapError::mismatch(format!(
+                "coupled bitvector holds {nc} > capacity {}",
+                self.vec_capacity
+            )));
+        }
+        self.coupled_vec.clear();
+        for _ in 0..nc {
+            self.coupled_vec.push_back(CoupledRec {
+                slot: Snap::load(r)?,
+                fid: Snap::load(r)?,
+                pc: Snap::load(r)?,
+            });
+        }
+        let nd = r.count("decoupled bitvector")?;
+        self.decoupled_vec.clear();
+        for _ in 0..nd {
+            self.decoupled_vec.push_back(DecoupledRec {
+                slot: Snap::load(r)?,
+                proxy: Snap::load(r)?,
+                target: Snap::load(r)?,
+            });
+        }
+        self.coupled_tq = Snap::load(r)?;
+        self.decoupled_tq = Snap::load(r)?;
+        self.divergences = Snap::load(r)?;
+        Ok(())
+    }
+}
+
+impl elf_types::Snap for VecSlot {
+    fn save(&self, w: &mut elf_types::SnapWriter) {
+        self.taken.save(w);
+        self.branch.save(w);
+    }
+    fn load(r: &mut elf_types::SnapReader<'_>) -> Result<Self, elf_types::SnapError> {
+        use elf_types::Snap;
+        Ok(VecSlot { taken: Snap::load(r)?, branch: Snap::load(r)? })
+    }
+}
+
+impl elf_types::Snap for TargetSlot {
+    fn save(&self, w: &mut elf_types::SnapWriter) {
+        self.kind.save(w);
+        self.target.save(w);
+    }
+    fn load(r: &mut elf_types::SnapReader<'_>) -> Result<Self, elf_types::SnapError> {
+        use elf_types::Snap;
+        Ok(TargetSlot { kind: Snap::load(r)?, target: Snap::load(r)? })
+    }
 }
 
 #[cfg(test)]

@@ -170,6 +170,38 @@ impl Faq {
             self.occupancy_sum as f64 / self.occupancy_samples as f64
         }
     }
+
+    /// Serializes queued blocks (with visibility cycles), the head
+    /// consumption offset and occupancy accumulators.
+    pub fn save_state(&self, w: &mut elf_types::SnapWriter) {
+        use elf_types::Snap;
+        self.entries.save(w);
+        self.head_consumed.save(w);
+        self.occupancy_sum.save(w);
+        self.occupancy_samples.save(w);
+    }
+
+    /// Restores state saved by [`Faq::save_state`] into a queue of the same
+    /// capacity.
+    pub fn load_state(
+        &mut self,
+        r: &mut elf_types::SnapReader<'_>,
+    ) -> Result<(), elf_types::SnapError> {
+        use elf_types::{Snap, SnapError};
+        let entries: VecDeque<(FaqEntry, Cycle)> = Snap::load(r)?;
+        if entries.len() > self.capacity {
+            return Err(SnapError::mismatch(format!(
+                "FAQ holds {} blocks > capacity {}",
+                entries.len(),
+                self.capacity
+            )));
+        }
+        self.entries = entries;
+        self.head_consumed = Snap::load(r)?;
+        self.occupancy_sum = Snap::load(r)?;
+        self.occupancy_samples = Snap::load(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

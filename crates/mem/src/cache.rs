@@ -193,6 +193,65 @@ impl Cache {
     pub fn occupancy(&self) -> usize {
         self.sets.iter().map(Vec::len).sum()
     }
+
+    /// Serializes tags, LRU stamps, dirty bits and counters. In-set order
+    /// is preserved exactly: replacement uses `swap_remove`, so order
+    /// affects future evictions.
+    pub fn save_state(&self, w: &mut elf_types::SnapWriter) {
+        use elf_types::Snap;
+        w.u64(self.sets.len() as u64);
+        for set in &self.sets {
+            w.u64(set.len() as u64);
+            for l in set {
+                l.tag.save(w);
+                l.last_use.save(w);
+                l.dirty.save(w);
+            }
+        }
+        self.tick.save(w);
+        self.hits.save(w);
+        self.misses.save(w);
+        self.writebacks.save(w);
+    }
+
+    /// Restores content saved by [`Cache::save_state`] into a cache of the
+    /// same geometry.
+    pub fn load_state(
+        &mut self,
+        r: &mut elf_types::SnapReader<'_>,
+    ) -> Result<(), elf_types::SnapError> {
+        use elf_types::{Snap, SnapError};
+        let nsets = r.u64("cache set count")? as usize;
+        if nsets != self.sets.len() {
+            return Err(SnapError::mismatch(format!(
+                "cache {} set count {nsets} != {}",
+                self.cfg.name,
+                self.sets.len()
+            )));
+        }
+        for set in &mut self.sets {
+            let n = r.u64("cache set size")? as usize;
+            if n > self.cfg.ways {
+                return Err(SnapError::mismatch(format!(
+                    "cache {} set holds {n} ways > {}",
+                    self.cfg.name, self.cfg.ways
+                )));
+            }
+            set.clear();
+            for _ in 0..n {
+                set.push(Line {
+                    tag: Snap::load(r)?,
+                    last_use: Snap::load(r)?,
+                    dirty: Snap::load(r)?,
+                });
+            }
+        }
+        self.tick = Snap::load(r)?;
+        self.hits = Snap::load(r)?;
+        self.misses = Snap::load(r)?;
+        self.writebacks = Snap::load(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

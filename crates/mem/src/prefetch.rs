@@ -86,6 +86,45 @@ impl StridePrefetcher {
     pub fn stats(&self) -> (u64, u64) {
         (self.trains, self.issued)
     }
+
+    /// Serializes the tracking table and counters.
+    pub fn save_state(&self, w: &mut elf_types::SnapWriter) {
+        use elf_types::Snap;
+        w.u64(self.table.len() as u64);
+        for e in &self.table {
+            e.tag.save(w);
+            e.last_addr.save(w);
+            e.stride.save(w);
+            e.confidence.save(w);
+        }
+        self.trains.save(w);
+        self.issued.save(w);
+    }
+
+    /// Restores state saved by [`StridePrefetcher::save_state`] into a
+    /// prefetcher of the same geometry.
+    pub fn load_state(
+        &mut self,
+        r: &mut elf_types::SnapReader<'_>,
+    ) -> Result<(), elf_types::SnapError> {
+        use elf_types::{Snap, SnapError};
+        let n = r.u64("stride table size")? as usize;
+        if n != self.table.len() {
+            return Err(SnapError::mismatch(format!(
+                "stride table size {n} != {}",
+                self.table.len()
+            )));
+        }
+        for e in &mut self.table {
+            e.tag = Snap::load(r)?;
+            e.last_addr = Snap::load(r)?;
+            e.stride = Snap::load(r)?;
+            e.confidence = Snap::load(r)?;
+        }
+        self.trains = Snap::load(r)?;
+        self.issued = Snap::load(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

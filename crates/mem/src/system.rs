@@ -308,6 +308,70 @@ impl MemorySystem {
         self.l2.reset_stats();
         self.l3.reset_stats();
     }
+
+    /// Serializes all cache contents, the stride prefetcher, in-flight
+    /// instruction prefetches and counters.
+    pub fn save_state(&self, w: &mut elf_types::SnapWriter) {
+        use elf_types::Snap;
+        self.l0i.save_state(w);
+        self.l1i.save_state(w);
+        self.l1d.save_state(w);
+        self.l2.save_state(w);
+        self.l3.save_state(w);
+        self.dpf.save_state(w);
+        self.ipf_inflight.save(w);
+        self.stats.save(w);
+    }
+
+    /// Restores state saved by [`MemorySystem::save_state`] into a system
+    /// of the same geometry.
+    pub fn load_state(
+        &mut self,
+        r: &mut elf_types::SnapReader<'_>,
+    ) -> Result<(), elf_types::SnapError> {
+        use elf_types::Snap;
+        self.l0i.load_state(r)?;
+        self.l1i.load_state(r)?;
+        self.l1d.load_state(r)?;
+        self.l2.load_state(r)?;
+        self.l3.load_state(r)?;
+        self.dpf.load_state(r)?;
+        self.ipf_inflight = Snap::load(r)?;
+        self.stats = Snap::load(r)?;
+        Ok(())
+    }
+}
+
+impl elf_types::Snap for MemStats {
+    fn save(&self, w: &mut elf_types::SnapWriter) {
+        self.ifetches.save(w);
+        self.l0i_misses.save(w);
+        self.l1i_misses.save(w);
+        self.loads.save(w);
+        self.l1d_misses.save(w);
+        self.stores.save(w);
+        self.ipf_issued.save(w);
+        self.ipf_dropped.save(w);
+        self.ipf_late_hits.save(w);
+        self.dpf_issued.save(w);
+        self.l1d_writebacks.save(w);
+    }
+    fn load(r: &mut elf_types::SnapReader<'_>) -> Result<Self, elf_types::SnapError> {
+        use elf_types::Snap;
+        Ok(MemStats {
+            ifetches: Snap::load(r)?,
+            l0i_misses: Snap::load(r)?,
+            l1i_misses: Snap::load(r)?,
+            loads: Snap::load(r)?,
+            l1d_misses: Snap::load(r)?,
+            stores: Snap::load(r)?,
+            ipf_issued: Snap::load(r)?,
+            ipf_dropped: Snap::load(r)?,
+            ipf_late_hits: Snap::load(r)?,
+            dpf_issued: Snap::load(r)?,
+            l1d_writebacks: Snap::load(r)?,
+        })
+    }
 }
 
 #[cfg(test)]

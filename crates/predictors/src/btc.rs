@@ -71,6 +71,31 @@ impl BranchTargetCache {
     pub fn storage_bits(&self) -> usize {
         self.entries.len() * (self.tag_bits as usize + 48 + 1)
     }
+
+    /// Serializes the entry array.
+    pub fn save_state(&self, w: &mut elf_types::SnapWriter) {
+        use elf_types::Snap;
+        self.entries.save(w);
+    }
+
+    /// Restores entries saved by [`BranchTargetCache::save_state`] into a
+    /// cache of the same geometry.
+    pub fn load_state(
+        &mut self,
+        r: &mut elf_types::SnapReader<'_>,
+    ) -> Result<(), elf_types::SnapError> {
+        use elf_types::Snap;
+        let entries: Vec<Option<(u16, Addr)>> = Snap::load(r)?;
+        if entries.len() != self.entries.len() {
+            return Err(elf_types::SnapError::mismatch(format!(
+                "btc size {} != {}",
+                entries.len(),
+                self.entries.len()
+            )));
+        }
+        self.entries = entries;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -88,6 +88,40 @@ impl Ras {
     pub fn storage_bits(&self) -> usize {
         self.slots.len() * 48
     }
+
+    /// Serializes the stack contents and position counters.
+    pub fn save_state(&self, w: &mut elf_types::SnapWriter) {
+        use elf_types::Snap;
+        self.slots.save(w);
+        self.tos.save(w);
+        self.live.save(w);
+    }
+
+    /// Restores state saved by [`Ras::save_state`] into a stack of the same
+    /// capacity.
+    pub fn load_state(
+        &mut self,
+        r: &mut elf_types::SnapReader<'_>,
+    ) -> Result<(), elf_types::SnapError> {
+        use elf_types::Snap;
+        let slots: Vec<Addr> = Snap::load(r)?;
+        let tos: u64 = Snap::load(r)?;
+        let live: u64 = Snap::load(r)?;
+        if slots.len() != self.slots.len() {
+            return Err(elf_types::SnapError::mismatch(format!(
+                "ras capacity {} != {}",
+                slots.len(),
+                self.slots.len()
+            )));
+        }
+        if live > slots.len() as u64 || tos < live {
+            return Err(elf_types::SnapError::mismatch("ras counters inconsistent"));
+        }
+        self.slots = slots;
+        self.tos = tos;
+        self.live = live;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

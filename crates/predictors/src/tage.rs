@@ -315,6 +315,59 @@ impl Tage {
     pub fn storage_bits(&self) -> usize {
         self.cfg.storage_bits()
     }
+
+    /// Serializes all mutable state (tables, histories, LFSR, aging
+    /// counter). The geometry is config-derived and not written.
+    pub fn save_state(&self, w: &mut elf_types::SnapWriter) {
+        use elf_types::Snap;
+        self.base.save_state(w);
+        w.u64(self.tables.len() as u64);
+        for t in &self.tables {
+            w.u64(t.len() as u64);
+            for e in t {
+                e.tag.save(w);
+                e.ctr.save(w);
+                e.u.save(w);
+            }
+        }
+        self.spec_hist.bits().save(w);
+        self.retire_hist.bits().save(w);
+        self.lfsr.save(w);
+        self.trained.save(w);
+    }
+
+    /// Restores state saved by [`Tage::save_state`] into a predictor of the
+    /// same geometry.
+    pub fn load_state(
+        &mut self,
+        r: &mut elf_types::SnapReader<'_>,
+    ) -> Result<(), elf_types::SnapError> {
+        use elf_types::{Snap, SnapError};
+        self.base.load_state(r)?;
+        let nt = r.u64("tage table count")? as usize;
+        if nt != self.tables.len() {
+            return Err(SnapError::mismatch(format!(
+                "tage table count {nt} != {}",
+                self.tables.len()
+            )));
+        }
+        for t in &mut self.tables {
+            let n = r.u64("tage table size")? as usize;
+            if n != t.len() {
+                return Err(SnapError::mismatch(format!("tage table size {n} != {}", t.len())));
+            }
+            for e in t.iter_mut() {
+                e.tag = Snap::load(r)?;
+                e.ctr = Snap::load(r)?;
+                e.u = Snap::load(r)?;
+            }
+        }
+        self.spec_hist.set(Snap::load(r)?);
+        self.retire_hist.set(Snap::load(r)?);
+        self.lfsr = Snap::load(r)?;
+        self.trained = Snap::load(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

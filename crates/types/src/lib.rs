@@ -12,9 +12,11 @@
 
 pub mod fetch;
 pub mod inst;
+pub mod snap;
 
 pub use fetch::{FaqBranch, FaqEntry, FaqTermination, FetchMode, FetchedInst, PredSource, Prediction};
 pub use inst::{BranchKind, InstClass, StaticInst};
+pub use snap::{Snap, SnapError, SnapReader, SnapWriter};
 
 /// A virtual address. The simulator uses raw `u64` byte addresses throughout.
 pub type Addr = u64;

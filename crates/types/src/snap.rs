@@ -1,0 +1,793 @@
+//! Hand-rolled binary snapshot serialization.
+//!
+//! The checkpoint/resume feature (DESIGN.md §14) needs every stateful
+//! component to round-trip through bytes without external dependencies
+//! (the build environment is offline). This module provides the shared
+//! vocabulary: a [`SnapWriter`]/[`SnapReader`] pair over a growable byte
+//! buffer and the [`Snap`] trait implemented by plain-data types.
+//!
+//! Format rules:
+//!
+//! - all integers are little-endian and fixed-width; `usize` travels as
+//!   `u64`;
+//! - variable-length containers (`Vec`, `VecDeque`, `String`, maps) are
+//!   length-prefixed with a `u64` count;
+//! - `Option<T>` is a `u8` tag (0/1) followed by the payload when present;
+//! - enums are a `u8` discriminant followed by variant payloads;
+//! - there is no self-description: reader and writer must agree on the
+//!   layout, which is what the snapshot-file *version* number pins down
+//!   (bump it on any layout change — see `elf_core::snapshot`).
+//!
+//! Components with private state implement `save_state`/`load_state`
+//! methods in their own modules using these primitives; `load_state`
+//! mutates an already-constructed instance (built from the same
+//! configuration) and must verify geometry so corrupt or mismatched bytes
+//! surface as [`SnapError`] instead of panics or silent corruption.
+
+use std::collections::{HashMap, VecDeque};
+
+/// Why a snapshot could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The byte stream ended before the expected value.
+    UnexpectedEof {
+        /// What was being read.
+        what: &'static str,
+    },
+    /// An enum tag or bool byte had no defined meaning.
+    BadTag {
+        /// What was being read.
+        what: &'static str,
+        /// The offending tag value.
+        tag: u64,
+    },
+    /// The decoded state does not fit the constructed component (wrong
+    /// table geometry, wrong program, ...).
+    Mismatch {
+        /// Human-readable description of the disagreement.
+        what: String,
+    },
+}
+
+impl SnapError {
+    /// Shorthand for a [`SnapError::Mismatch`].
+    #[must_use]
+    pub fn mismatch(what: impl Into<String>) -> Self {
+        SnapError::Mismatch { what: what.into() }
+    }
+}
+
+impl std::fmt::Display for SnapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapError::UnexpectedEof { what } => {
+                write!(f, "snapshot truncated while reading {what}")
+            }
+            SnapError::BadTag { what, tag } => {
+                write!(f, "snapshot has invalid tag {tag} for {what}")
+            }
+            SnapError::Mismatch { what } => write!(f, "snapshot mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// Append-only byte sink for snapshot serialization.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        SnapWriter::default()
+    }
+
+    /// Consumes the writer, returning the serialized bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends raw bytes verbatim (no length prefix).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u128`.
+    pub fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Cursor over serialized snapshot bytes.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// A reader over `bytes`, positioned at the start.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        SnapReader { buf: bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn raw(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::UnexpectedEof { what });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, SnapError> {
+        Ok(self.raw(1, what)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self, what: &'static str) -> Result<u16, SnapError> {
+        let b = self.raw(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, SnapError> {
+        let b = self.raw(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, SnapError> {
+        let b = self.raw(8, what)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Reads a little-endian `u128`.
+    pub fn u128(&mut self, what: &'static str) -> Result<u128, SnapError> {
+        let b = self.raw(16, what)?;
+        let mut a = [0u8; 16];
+        a.copy_from_slice(b);
+        Ok(u128::from_le_bytes(a))
+    }
+
+    /// Reads a `u64` element count, bounded by the remaining bytes so a
+    /// corrupt length cannot trigger a huge allocation.
+    pub fn count(&mut self, what: &'static str) -> Result<usize, SnapError> {
+        let n = self.u64(what)?;
+        // Every element costs at least one byte in this format.
+        if n > self.remaining() as u64 {
+            return Err(SnapError::Mismatch {
+                what: format!("{what}: count {n} exceeds remaining {} bytes", self.remaining()),
+            });
+        }
+        Ok(n as usize)
+    }
+}
+
+/// A type that serializes itself into a [`SnapWriter`] and reconstructs
+/// itself from a [`SnapReader`].
+pub trait Snap: Sized {
+    /// Appends this value to `w`.
+    fn save(&self, w: &mut SnapWriter);
+    /// Reads one value from `r`.
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError>;
+}
+
+impl Snap for u8 {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(*self);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        r.u8("u8")
+    }
+}
+
+impl Snap for u16 {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u16(*self);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        r.u16("u16")
+    }
+}
+
+impl Snap for u32 {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u32(*self);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        r.u32("u32")
+    }
+}
+
+impl Snap for u64 {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(*self);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        r.u64("u64")
+    }
+}
+
+impl Snap for u128 {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u128(*self);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        r.u128("u128")
+    }
+}
+
+impl Snap for i8 {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(*self as u8);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(r.u8("i8")? as i8)
+    }
+}
+
+impl Snap for i64 {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(*self as u64);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(r.u64("i64")? as i64)
+    }
+}
+
+impl Snap for usize {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(*self as u64);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let v = r.u64("usize")?;
+        usize::try_from(v)
+            .map_err(|_| SnapError::mismatch(format!("usize value {v} does not fit")))
+    }
+}
+
+impl Snap for bool {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(u8::from(*self));
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8("bool")? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(SnapError::BadTag { what: "bool", tag: u64::from(t) }),
+        }
+    }
+}
+
+impl Snap for f64 {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.to_bits());
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(f64::from_bits(r.u64("f64")?))
+    }
+}
+
+impl Snap for String {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.len() as u64);
+        w.raw(self.as_bytes());
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.count("string length")?;
+        let bytes = r.raw(n, "string bytes")?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapError::mismatch("string is not valid UTF-8"))
+    }
+}
+
+impl<T: Snap> Snap for Option<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            None => w.u8(0),
+            Some(v) => {
+                w.u8(1);
+                v.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8("option tag")? {
+            0 => Ok(None),
+            1 => Ok(Some(T::load(r)?)),
+            t => Err(SnapError::BadTag { what: "option", tag: u64::from(t) }),
+        }
+    }
+}
+
+impl<T: Snap> Snap for Vec<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.len() as u64);
+        for v in self {
+            v.save(w);
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.count("vec length")?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::load(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Snap> Snap for VecDeque<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.len() as u64);
+        for v in self {
+            v.save(w);
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.count("deque length")?;
+        let mut out = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            out.push_back(T::load(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Snap, B: Snap> Snap for (A, B) {
+    fn save(&self, w: &mut SnapWriter) {
+        self.0.save(w);
+        self.1.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok((A::load(r)?, B::load(r)?))
+    }
+}
+
+impl<A: Snap, B: Snap, C: Snap> Snap for (A, B, C) {
+    fn save(&self, w: &mut SnapWriter) {
+        self.0.save(w);
+        self.1.save(w);
+        self.2.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok((A::load(r)?, B::load(r)?, C::load(r)?))
+    }
+}
+
+impl<T: Snap + Copy + Default, const N: usize> Snap for [T; N] {
+    fn save(&self, w: &mut SnapWriter) {
+        for v in self {
+            v.save(w);
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let mut out = [T::default(); N];
+        for slot in &mut out {
+            *slot = T::load(r)?;
+        }
+        Ok(out)
+    }
+}
+
+/// `HashMap` serialization: entries are written sorted by key so the same
+/// logical state always produces the same bytes (snapshot equality checks
+/// and content hashing stay meaningful).
+impl<K: Snap + Ord + std::hash::Hash + Eq + Clone, V: Snap + Clone> Snap for HashMap<K, V> {
+    fn save(&self, w: &mut SnapWriter) {
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        w.u64(entries.len() as u64);
+        for (k, v) in entries {
+            k.save(w);
+            v.save(w);
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.count("map length")?;
+        let mut out = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let k = K::load(r)?;
+            let v = V::load(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+// --- Snap impls for this crate's vocabulary types -------------------------
+
+use crate::fetch::{
+    FaqBranch, FaqEntry, FaqTermination, FetchMode, FetchedInst, PredSource, Prediction,
+};
+use crate::inst::{BranchKind, InstClass, StaticInst};
+
+impl Snap for BranchKind {
+    fn save(&self, w: &mut SnapWriter) {
+        let tag: u8 = match self {
+            BranchKind::CondDirect => 0,
+            BranchKind::UncondDirect => 1,
+            BranchKind::Call => 2,
+            BranchKind::Return => 3,
+            BranchKind::IndirectJump => 4,
+            BranchKind::IndirectCall => 5,
+        };
+        w.u8(tag);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8("branch kind")? {
+            0 => BranchKind::CondDirect,
+            1 => BranchKind::UncondDirect,
+            2 => BranchKind::Call,
+            3 => BranchKind::Return,
+            4 => BranchKind::IndirectJump,
+            5 => BranchKind::IndirectCall,
+            t => return Err(SnapError::BadTag { what: "branch kind", tag: u64::from(t) }),
+        })
+    }
+}
+
+impl Snap for InstClass {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            InstClass::Alu => w.u8(0),
+            InstClass::Mul => w.u8(1),
+            InstClass::Div => w.u8(2),
+            InstClass::Load => w.u8(3),
+            InstClass::Store => w.u8(4),
+            InstClass::Simd => w.u8(5),
+            InstClass::Nop => w.u8(6),
+            InstClass::Branch(k) => {
+                w.u8(7);
+                k.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8("inst class")? {
+            0 => InstClass::Alu,
+            1 => InstClass::Mul,
+            2 => InstClass::Div,
+            3 => InstClass::Load,
+            4 => InstClass::Store,
+            5 => InstClass::Simd,
+            6 => InstClass::Nop,
+            7 => InstClass::Branch(BranchKind::load(r)?),
+            t => return Err(SnapError::BadTag { what: "inst class", tag: u64::from(t) }),
+        })
+    }
+}
+
+impl Snap for StaticInst {
+    fn save(&self, w: &mut SnapWriter) {
+        self.pc.save(w);
+        self.class.save(w);
+        self.target.save(w);
+        self.dst.save(w);
+        self.srcs.save(w);
+        self.behavior.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(StaticInst {
+            pc: Snap::load(r)?,
+            class: Snap::load(r)?,
+            target: Snap::load(r)?,
+            dst: Snap::load(r)?,
+            srcs: Snap::load(r)?,
+            behavior: Snap::load(r)?,
+        })
+    }
+}
+
+impl Snap for PredSource {
+    fn save(&self, w: &mut SnapWriter) {
+        let tag: u8 = match self {
+            PredSource::Bimodal => 0,
+            PredSource::TageTagged => 1,
+            PredSource::BranchTargetCache => 2,
+            PredSource::Ittage => 3,
+            PredSource::Ras => 4,
+            PredSource::Btb => 5,
+            PredSource::CoupledBimodal => 6,
+            PredSource::CoupledBtc => 7,
+            PredSource::CoupledRas => 8,
+            PredSource::StaticNotTaken => 9,
+            PredSource::DecodedTarget => 10,
+        };
+        w.u8(tag);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8("pred source")? {
+            0 => PredSource::Bimodal,
+            1 => PredSource::TageTagged,
+            2 => PredSource::BranchTargetCache,
+            3 => PredSource::Ittage,
+            4 => PredSource::Ras,
+            5 => PredSource::Btb,
+            6 => PredSource::CoupledBimodal,
+            7 => PredSource::CoupledBtc,
+            8 => PredSource::CoupledRas,
+            9 => PredSource::StaticNotTaken,
+            10 => PredSource::DecodedTarget,
+            t => return Err(SnapError::BadTag { what: "pred source", tag: u64::from(t) }),
+        })
+    }
+}
+
+impl Snap for Prediction {
+    fn save(&self, w: &mut SnapWriter) {
+        self.taken.save(w);
+        self.target.save(w);
+        self.source.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Prediction {
+            taken: Snap::load(r)?,
+            target: Snap::load(r)?,
+            source: Snap::load(r)?,
+        })
+    }
+}
+
+impl Snap for FetchMode {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            FetchMode::Coupled => 0,
+            FetchMode::Decoupled => 1,
+        });
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8("fetch mode")? {
+            0 => FetchMode::Coupled,
+            1 => FetchMode::Decoupled,
+            t => return Err(SnapError::BadTag { what: "fetch mode", tag: u64::from(t) }),
+        })
+    }
+}
+
+impl Snap for FaqTermination {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            FaqTermination::TakenBranch(k) => {
+                w.u8(0);
+                k.save(w);
+            }
+            FaqTermination::FallThrough => w.u8(1),
+            FaqTermination::BtbMiss => w.u8(2),
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8("faq termination")? {
+            0 => FaqTermination::TakenBranch(BranchKind::load(r)?),
+            1 => FaqTermination::FallThrough,
+            2 => FaqTermination::BtbMiss,
+            t => return Err(SnapError::BadTag { what: "faq termination", tag: u64::from(t) }),
+        })
+    }
+}
+
+impl Snap for FaqBranch {
+    fn save(&self, w: &mut SnapWriter) {
+        self.offset.save(w);
+        self.kind.save(w);
+        self.pred_taken.save(w);
+        self.pred_target.save(w);
+        self.source.save(w);
+        self.hist.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(FaqBranch {
+            offset: Snap::load(r)?,
+            kind: Snap::load(r)?,
+            pred_taken: Snap::load(r)?,
+            pred_target: Snap::load(r)?,
+            source: Snap::load(r)?,
+            hist: Snap::load(r)?,
+        })
+    }
+}
+
+impl Snap for FaqEntry {
+    fn save(&self, w: &mut SnapWriter) {
+        self.start_pc.save(w);
+        self.inst_count.save(w);
+        self.term.save(w);
+        self.next_pc.save(w);
+        self.branches.save(w);
+        self.enqueue_cycle.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(FaqEntry {
+            start_pc: Snap::load(r)?,
+            inst_count: Snap::load(r)?,
+            term: Snap::load(r)?,
+            next_pc: Snap::load(r)?,
+            branches: Snap::load(r)?,
+            enqueue_cycle: Snap::load(r)?,
+        })
+    }
+}
+
+impl Snap for FetchedInst {
+    fn save(&self, w: &mut SnapWriter) {
+        self.sinst.save(w);
+        self.oracle_seq.save(w);
+        self.wrong_path.save(w);
+        self.mode.save(w);
+        self.pred.save(w);
+        self.fetch_cycle.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(FetchedInst {
+            sinst: Snap::load(r)?,
+            oracle_seq: Snap::load(r)?,
+            wrong_path: Snap::load(r)?,
+            mode: Snap::load(r)?,
+            pred: Snap::load(r)?,
+            fetch_cycle: Snap::load(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Snap + PartialEq + std::fmt::Debug>(v: &T) {
+        let mut w = SnapWriter::new();
+        v.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = T::load(&mut r).expect("round trip");
+        assert_eq!(&back, v);
+        assert_eq!(r.remaining(), 0, "no trailing bytes");
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(&0xdeadbeefu64);
+        round_trip(&u128::MAX);
+        round_trip(&-7i64);
+        round_trip(&-3i8);
+        round_trip(&true);
+        round_trip(&3.5f64);
+        round_trip(&String::from("641.leela"));
+        round_trip(&42usize);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(&vec![1u64, 2, 3]);
+        round_trip(&Some(9u32));
+        round_trip(&Option::<u32>::None);
+        round_trip(&VecDeque::from([1u8, 2, 3]));
+        round_trip(&(1u64, true, 3u8));
+        round_trip(&[5u64, 6, 7, 8]);
+        let mut m = HashMap::new();
+        m.insert(3u64, 4u128);
+        m.insert(1u64, 2u128);
+        round_trip(&m);
+    }
+
+    #[test]
+    fn hashmap_bytes_are_key_sorted() {
+        let mut a = HashMap::new();
+        a.insert(2u64, 20u64);
+        a.insert(1u64, 10u64);
+        let mut b = HashMap::new();
+        b.insert(1u64, 10u64);
+        b.insert(2u64, 20u64);
+        let enc = |m: &HashMap<u64, u64>| {
+            let mut w = SnapWriter::new();
+            m.save(&mut w);
+            w.into_bytes()
+        };
+        assert_eq!(enc(&a), enc(&b));
+    }
+
+    #[test]
+    fn vocabulary_types_round_trip() {
+        round_trip(&BranchKind::IndirectCall);
+        round_trip(&InstClass::Branch(BranchKind::Return));
+        round_trip(&StaticInst::simple(0x1000, InstClass::Load));
+        round_trip(&Prediction::not_taken());
+        round_trip(&FetchMode::Decoupled);
+        round_trip(&FaqTermination::TakenBranch(BranchKind::Call));
+        let fb = FaqBranch {
+            offset: 3,
+            kind: BranchKind::CondDirect,
+            pred_taken: true,
+            pred_target: Some(0x2000),
+            source: PredSource::TageTagged,
+            hist: 0xabcdef,
+        };
+        round_trip(&fb);
+        round_trip(&FaqEntry {
+            start_pc: 0x1000,
+            inst_count: 8,
+            term: FaqTermination::FallThrough,
+            next_pc: 0x1020,
+            branches: vec![fb],
+            enqueue_cycle: 99,
+        });
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let mut w = SnapWriter::new();
+        vec![1u64, 2, 3].save(&mut w);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = SnapReader::new(&bytes[..cut]);
+            assert!(Vec::<u64>::load(&mut r).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn corrupt_tags_error_cleanly() {
+        let mut r = SnapReader::new(&[9]);
+        assert!(bool::load(&mut r).is_err());
+        let mut r = SnapReader::new(&[200]);
+        assert!(BranchKind::load(&mut r).is_err());
+        let mut r = SnapReader::new(&[2, 0]);
+        assert!(Option::<u8>::load(&mut r).is_err());
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected_without_allocation() {
+        let mut w = SnapWriter::new();
+        w.u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(Vec::<u64>::load(&mut r), Err(SnapError::Mismatch { .. })));
+    }
+}

@@ -30,7 +30,13 @@ fn main() {
 
     let mut base_ipc = None;
     for arch in archs {
-        let mut sim = Simulator::for_workload(SimConfig::baseline(arch), &workload);
+        let mut sim = match Simulator::try_for_workload(SimConfig::baseline(arch), &workload) {
+            Ok(sim) => sim,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        };
         sim.warm_up(150_000).expect("warm-up completes");
         let s = sim.run(250_000).expect("run completes");
         if arch == FetchArch::Dcf {

@@ -16,7 +16,10 @@ fn main() {
 
     let mut results = Vec::new();
     for arch in [FetchArch::Dcf, FetchArch::Elf(ElfVariant::U)] {
-        let mut sim = Simulator::for_workload(SimConfig::baseline(arch), &workload);
+        // try_for_workload validates the configuration and the synthesized
+        // program, returning a structured SimError instead of panicking.
+        let mut sim = Simulator::try_for_workload(SimConfig::baseline(arch), &workload)
+            .expect("baseline config and registry workload are valid");
         sim.warm_up(100_000).expect("warm-up completes"); // fill predictors/BTB/caches, then reset stats
         let stats = sim.run(200_000).expect("run completes"); // measured window
         println!(

@@ -6,15 +6,24 @@
 //! elfsim 641.leela u-elf                 # arch: nodcf|dcf|l|ret|ind|cond|u
 //! elfsim 641.leela u-elf --warmup 500000 --window 1000000
 //! elfsim 641.leela --compare             # all architectures side by side
+//! elfsim 641.leela --compare --jobs 4    # supervised grid, partial results
 //! elfsim 641.leela u-elf --inject flush=50,btb=20 --seed 7
+//! elfsim 641.leela u-elf --checkpoint-every 100000 --checkpoint-file run.ckpt
+//! elfsim --resume run.ckpt               # continue an interrupted run
 //! ```
 //!
-//! Exit codes: 0 success, 1 simulation error (wedge / malformed program,
-//! with a diagnostic report on stderr), 2 usage error.
+//! Exit codes: 0 success, 1 simulation error (wedge / malformed program /
+//! unreadable checkpoint, with a diagnostic report on stderr), 2 usage
+//! error, 3 supervised grid finished with at least one failed cell
+//! (partial results were still printed).
 
-use elf_sim::core::{FaultKind, FaultPlan, SimConfig, SimError, Simulator};
+use elf_sim::core::{
+    FaultKind, FaultPlan, GridCell, GridOptions, SimConfig, SimError, SimStats, Simulator,
+    Snapshot,
+};
 use elf_sim::frontend::{ElfVariant, FetchArch};
 use elf_sim::trace::{synthesize, workloads};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -22,6 +31,9 @@ use std::sync::Arc;
 const EXIT_USAGE: u8 = 2;
 /// The simulation itself failed (wedge, malformed program).
 const EXIT_SIM: u8 = 1;
+/// A supervised grid (`--compare --jobs N`) had at least one failed cell;
+/// results for the healthy cells were still printed.
+const EXIT_GRID: u8 = 3;
 
 fn parse_arch(s: &str) -> Option<FetchArch> {
     Some(match s.to_ascii_lowercase().as_str() {
@@ -58,13 +70,85 @@ fn usage(problem: &str) -> ExitCode {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: elfsim <workload> [arch] [--warmup N] [--window N] [--seed N]\n\
-                       [--inject KIND=RATE[,KIND=RATE...]] [--compare]\n\
+                       [--inject KIND=RATE[,KIND=RATE...]]\n\
+                       [--checkpoint-every N] [--checkpoint-file F]\n\
+                elfsim <workload> --compare [--jobs N] [--retries N] [...]\n\
+                elfsim --resume F [--window N] [--checkpoint-every N] [--checkpoint-file F]\n\
                 elfsim --list\n\
          arch: nodcf | dcf | l-elf | ret-elf | ind-elf | cond-elf | u-elf\n\
          inject kinds: flush | btb | icache | mispredict | all \
-         (RATE per 100k cycles)"
+         (RATE per 100k cycles)\n\
+         --checkpoint-every N writes a resumable snapshot to --checkpoint-file\n\
+         every N measured instructions; --resume F continues it to the\n\
+         original --window target. --compare --jobs N runs the architectures\n\
+         as a supervised grid: one wedged cell cannot sink the others (exit 3\n\
+         flags partial results)."
     );
     ExitCode::from(EXIT_USAGE)
+}
+
+/// Runs the measured window to the absolute target `window` (instructions
+/// retired since the stats reset), checkpointing to `file` every `every`
+/// instructions (and once at completion when a file is given). Chunking
+/// never perturbs the simulation: milestones only change where `run`
+/// pauses, not the tick sequence.
+fn run_window_chunked(
+    sim: &mut Simulator,
+    window: u64,
+    every: u64,
+    file: Option<&Path>,
+) -> Result<SimStats, SimError> {
+    let step = if every == 0 { u64::MAX } else { every };
+    loop {
+        let milestone = sim.retired().saturating_add(step).min(window);
+        let stats = sim.run(milestone.saturating_sub(sim.retired()))?;
+        if let Some(path) = file {
+            sim.checkpoint().write_to(path)?;
+        }
+        if sim.retired() >= window {
+            return Ok(stats);
+        }
+    }
+}
+
+/// `elfsim --resume F`: read a snapshot, rebuild the simulator and finish
+/// the interrupted window ( `--window` is the same absolute target as the
+/// original run; instructions already retired are not re-run).
+fn resume(path: &Path, window: u64, every: u64, file: Option<&Path>) -> ExitCode {
+    let snap = match Snapshot::read_from(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(EXIT_SIM);
+        }
+    };
+    let mut sim = match snap.restore() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(EXIT_SIM);
+        }
+    };
+    println!(
+        "resumed {} under {} at cycle {} ({} retired in window; target {window})",
+        sim.program().name(),
+        sim.config().arch.label(),
+        sim.cycle(),
+        sim.retired(),
+    );
+    println!();
+    // Keep checkpointing to the resume file unless redirected.
+    let file = Some(file.unwrap_or(path));
+    match run_window_chunked(&mut sim, window, every, file) {
+        Ok(s) => {
+            print!("{}", s.report());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(EXIT_SIM)
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -85,17 +169,26 @@ fn main() -> ExitCode {
     let mut seed: Option<u64> = None;
     let mut inject: Option<String> = None;
     let mut compare = false;
+    let mut checkpoint_every = 0u64;
+    let mut checkpoint_file: Option<PathBuf> = None;
+    let mut resume_from: Option<PathBuf> = None;
+    let mut jobs: Option<usize> = None;
+    let mut retries = 0u32;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--warmup" | "--window" | "--seed" => {
+            "--warmup" | "--window" | "--seed" | "--checkpoint-every" | "--jobs"
+            | "--retries" => {
                 let flag = args[i].as_str();
-                let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) else {
                     return usage(&format!("{flag} needs an unsigned integer value"));
                 };
                 match flag {
                     "--warmup" => warmup = v,
                     "--window" => window = v,
+                    "--checkpoint-every" => checkpoint_every = v,
+                    "--jobs" => jobs = Some(v.max(1) as usize),
+                    "--retries" => retries = v.min(u64::from(u32::MAX)) as u32,
                     _ => seed = Some(v),
                 }
                 i += 2;
@@ -105,6 +198,18 @@ fn main() -> ExitCode {
                     return usage("--inject needs a KIND=RATE spec");
                 };
                 inject = Some(v.clone());
+                i += 2;
+            }
+            "--checkpoint-file" | "--resume" => {
+                let flag = args[i].as_str();
+                let Some(v) = args.get(i + 1) else {
+                    return usage(&format!("{flag} needs a file path"));
+                };
+                if flag == "--resume" {
+                    resume_from = Some(PathBuf::from(v));
+                } else {
+                    checkpoint_file = Some(PathBuf::from(v));
+                }
                 i += 2;
             }
             "--compare" => {
@@ -119,6 +224,22 @@ fn main() -> ExitCode {
                 i += 1;
             }
         }
+    }
+
+    if let Some(path) = &resume_from {
+        if !positionals.is_empty() || compare || inject.is_some() || seed.is_some() {
+            return usage(
+                "--resume continues a snapshot: the workload, seed and fault plan \
+                 are baked in; only --window / --checkpoint-every / --checkpoint-file apply",
+            );
+        }
+        return resume(path, window, checkpoint_every, checkpoint_file.as_deref());
+    }
+    if checkpoint_every > 0 && checkpoint_file.is_none() {
+        return usage("--checkpoint-every needs --checkpoint-file");
+    }
+    if (checkpoint_every > 0 || checkpoint_file.is_some()) && compare {
+        return usage("checkpointing applies to single runs, not --compare");
     }
 
     let (name, arch) = match positionals.as_slice() {
@@ -163,12 +284,53 @@ fn main() -> ExitCode {
         .map_or_else(String::new, |s| format!(", injecting {s}"));
 
     if compare {
+        let mut archs = vec![FetchArch::NoDcf, FetchArch::Dcf];
+        archs.extend(ElfVariant::ALL.into_iter().map(FetchArch::Elf));
+
+        if let Some(jobs) = jobs {
+            // Supervised grid: cells run in parallel behind catch_unwind;
+            // a wedged or panicking cell is reported and the rest of the
+            // results still come back (exit code 3 flags the partial set).
+            if seed.is_some() {
+                return usage("--seed is not supported with --jobs (grid cells use registry seeds)");
+            }
+            println!(
+                "{} — supervised grid, {jobs} worker(s), {retries} retr(ies) \
+                 ({warmup} warmup, {window} window{injected}):",
+                workload.name
+            );
+            let cells: Vec<GridCell> = archs
+                .iter()
+                .map(|&a| {
+                    let mut cfg = SimConfig::baseline(a);
+                    cfg.fault = fault;
+                    GridCell { workload: workload.name.to_owned(), cfg, warmup, window }
+                })
+                .collect();
+            let opts = GridOptions { jobs, retries, ..GridOptions::default() };
+            let report = elf_sim::core::run_grid(&cells, &opts);
+            let base = report
+                .ok
+                .iter()
+                .find(|r| r.arch == FetchArch::Dcf.label())
+                .map(elf_sim::core::RunResult::ipc);
+            for r in &report.ok {
+                let rel = base.map_or_else(String::new, |b| {
+                    format!(" ({:+.2}% vs DCF)", (r.ipc() / b - 1.0) * 100.0)
+                });
+                println!("  {:>9}: IPC {:.3}{rel}", r.arch, r.ipc());
+            }
+            if report.all_ok() {
+                return ExitCode::SUCCESS;
+            }
+            eprint!("{}", report.failure_summary());
+            return ExitCode::from(EXIT_GRID);
+        }
+
         println!(
             "{} — all architectures ({warmup} warmup, {window} window{injected}):",
             workload.name
         );
-        let mut archs = vec![FetchArch::NoDcf, FetchArch::Dcf];
-        archs.extend(ElfVariant::ALL.into_iter().map(FetchArch::Elf));
         let mut base = None;
         for a in archs {
             let s = match run(a) {
@@ -195,7 +357,14 @@ fn main() -> ExitCode {
         arch.label()
     );
     println!();
-    match run(arch) {
+    let result = (|| {
+        let mut cfg = SimConfig::baseline(arch);
+        cfg.fault = fault;
+        let mut sim = Simulator::try_from_program(cfg, Arc::clone(&prog), spec.seed)?;
+        sim.warm_up(warmup)?;
+        run_window_chunked(&mut sim, window, checkpoint_every, checkpoint_file.as_deref())
+    })();
+    match result {
         Ok(s) => {
             print!("{}", s.report());
             ExitCode::SUCCESS

@@ -1,0 +1,165 @@
+//! Checkpoint/restore correctness: restoring a snapshot and continuing
+//! must be **bit-identical** to never having checkpointed at all — same
+//! `SimStats`, same flight-recorder tail — for every fetch architecture,
+//! with and without an active fault plan, and across a serialized file
+//! round-trip.
+
+use elf_sim::core::{FaultKind, FaultPlan, SimConfig, SimStats, Simulator, Snapshot};
+use elf_sim::frontend::{ElfVariant, FetchArch};
+use elf_sim::trace::workloads;
+use proptest::prelude::*;
+
+const ARCHS: [FetchArch; 7] = [
+    FetchArch::NoDcf,
+    FetchArch::Dcf,
+    FetchArch::Elf(ElfVariant::L),
+    FetchArch::Elf(ElfVariant::Ret),
+    FetchArch::Elf(ElfVariant::Ind),
+    FetchArch::Elf(ElfVariant::Cond),
+    FetchArch::Elf(ElfVariant::U),
+];
+
+/// Runs `first + second` instructions straight through, and separately
+/// `first`, checkpoint, restore, `second`; returns both endings.
+fn split_vs_straight(
+    cfg: SimConfig,
+    workload: &str,
+    first: u64,
+    second: u64,
+) -> (
+    (SimStats, Vec<elf_sim::core::TimedEvent>),
+    (SimStats, Vec<elf_sim::core::TimedEvent>),
+) {
+    let w = workloads::by_name(workload).expect("workload exists");
+
+    let mut straight = Simulator::try_for_workload(cfg.clone(), &w).expect("valid config");
+    straight.run(first).expect("straight first leg");
+    let straight_stats = straight.run(second).expect("straight second leg");
+    let straight_tail = straight.recorder().snapshot();
+
+    let mut head = Simulator::try_for_workload(cfg, &w).expect("valid config");
+    head.run(first).expect("checkpointed first leg");
+    let snap = head.checkpoint();
+    drop(head); // restore must not depend on the live simulator
+    let bytes = snap.to_bytes();
+    let snap = Snapshot::from_bytes(&bytes).expect("snapshot bytes decode");
+    let mut resumed = snap.restore().expect("snapshot restores");
+    let resumed_stats = resumed.run(second).expect("resumed second leg");
+    let resumed_tail = resumed.recorder().snapshot();
+
+    ((straight_stats, straight_tail), (resumed_stats, resumed_tail))
+}
+
+#[test]
+fn restore_is_bit_identical_for_every_arch() {
+    for arch in ARCHS {
+        let cfg = SimConfig::baseline(arch);
+        let (straight, resumed) = split_vs_straight(cfg, "641.leela", 6_000, 6_000);
+        assert_eq!(straight.0, resumed.0, "stats diverged for {}", arch.label());
+        assert_eq!(straight.1, resumed.1, "recorder tail diverged for {}", arch.label());
+    }
+}
+
+#[test]
+fn restore_is_bit_identical_with_active_faults() {
+    let mut cfg = SimConfig::baseline(FetchArch::Elf(ElfVariant::U));
+    cfg.fault = Some(
+        FaultPlan::new(0xbead)
+            .with(FaultKind::SpuriousFlush, 400)
+            .with(FaultKind::CorruptBtb, 400)
+            .with(FaultKind::EvictIcache, 400)
+            .with(FaultKind::ForceMispredict, 400),
+    );
+    let (straight, resumed) = split_vs_straight(cfg, "641.leela", 8_000, 8_000);
+    assert_eq!(straight.0, resumed.0, "stats diverged under fault injection");
+    assert_eq!(straight.1, resumed.1, "recorder tail diverged under fault injection");
+    // The plan above must actually fire for this test to mean anything.
+    assert!(
+        !straight.1.is_empty(),
+        "fault plan produced no recorded events; test is vacuous"
+    );
+}
+
+#[test]
+fn snapshot_survives_a_file_round_trip() {
+    let w = workloads::by_name("619.lbm").expect("workload exists");
+    let cfg = SimConfig::baseline(FetchArch::Dcf);
+
+    let mut straight = Simulator::try_for_workload(cfg.clone(), &w).unwrap();
+    straight.run(5_000).unwrap();
+    let want = straight.run(5_000).unwrap();
+
+    let mut head = Simulator::try_for_workload(cfg, &w).unwrap();
+    head.run(5_000).unwrap();
+    let path = std::env::temp_dir().join(format!("elfsim-ckpt-test-{}.ckpt", std::process::id()));
+    head.checkpoint().write_to(&path).expect("checkpoint writes");
+    let snap = Snapshot::read_from(&path).expect("checkpoint reads back");
+    std::fs::remove_file(&path).ok();
+    let got = snap.restore().expect("restores").run(5_000).unwrap();
+
+    assert_eq!(want, got, "file round-trip changed the continuation");
+}
+
+#[test]
+fn snapshot_reports_metadata_and_rejects_corruption() {
+    let w = workloads::by_name("641.leela").unwrap();
+    let mut sim =
+        Simulator::try_for_workload(SimConfig::baseline(FetchArch::NoDcf), &w).unwrap();
+    sim.run(3_000).unwrap();
+    let snap = sim.checkpoint();
+    assert_eq!(snap.cycle, sim.cycle());
+    assert_eq!(snap.retired, sim.retired());
+
+    let mut bytes = snap.to_bytes();
+    // Truncation and magic corruption must both fail loudly, not panic.
+    assert!(Snapshot::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+    bytes[0] ^= 0xff;
+    assert!(Snapshot::from_bytes(&bytes).is_err());
+}
+
+#[test]
+fn chunked_runs_with_periodic_checkpoints_match_one_shot() {
+    // Checkpointing every N instructions while running in chunks must not
+    // perturb the tick sequence — this is what `elfsim --checkpoint-every`
+    // relies on.
+    let w = workloads::by_name("641.leela").unwrap();
+    let cfg = SimConfig::baseline(FetchArch::Elf(ElfVariant::Cond));
+
+    let mut one_shot = Simulator::try_for_workload(cfg.clone(), &w).unwrap();
+    let want = one_shot.run(12_000).unwrap();
+
+    let mut chunked = Simulator::try_for_workload(cfg, &w).unwrap();
+    let mut last = None;
+    for milestone in [3_000u64, 6_000, 9_000, 12_000] {
+        // Absolute milestones, not `run(3_000)` four times: each chunk
+        // overshoots by up to a retire-width of instructions, and chaining
+        // relative chunks would accumulate that overshoot into the target.
+        last = Some(chunked.run(milestone - chunked.retired()).unwrap());
+        let _snap = chunked.checkpoint();
+    }
+    assert_eq!(want, last.unwrap(), "chunked+checkpointed run diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Satellite invariant: for any fetch architecture, any split point and
+    /// any continuation length, with or without fault injection, restoring
+    /// a checkpoint reproduces the straight-through run exactly.
+    #[test]
+    fn checkpoint_restore_run_is_bit_identical(
+        arch_sel in 0usize..7,
+        first in 2_000u64..8_000,
+        second in 1_000u64..6_000,
+        faulty in any::<bool>(),
+        fault_seed in 0u64..100_000,
+    ) {
+        let mut cfg = SimConfig::baseline(ARCHS[arch_sel]);
+        if faulty {
+            cfg.fault = Some(FaultPlan::uniform(300, fault_seed));
+        }
+        let (straight, resumed) = split_vs_straight(cfg, "641.leela", first, second);
+        prop_assert_eq!(straight.0, resumed.0, "stats diverged");
+        prop_assert_eq!(straight.1, resumed.1, "recorder tail diverged");
+    }
+}
