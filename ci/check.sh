@@ -7,6 +7,11 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Idle-cycle skipping must stay a pure optimization: re-prove bit-identical
+# SimStats against the cycle-by-cycle reference walk in release mode (the
+# configuration benches and users actually run).
+cargo test -q --release --test perf_equivalence
+
 # Smoke: a checkpointed run must resume from its snapshot (end-to-end
 # through the CLI; bit-identity is pinned by tests/checkpoint.rs).
 ckpt="$(mktemp -d)/smoke.ckpt"
@@ -14,3 +19,26 @@ ckpt="$(mktemp -d)/smoke.ckpt"
     --checkpoint-every 8000 --checkpoint-file "$ckpt" >/dev/null
 ./target/release/elfsim --resume "$ckpt" --window 30000 >/dev/null
 rm -f "$ckpt"
+
+# Smoke: the kernel-throughput report must be schema-valid JSON with a
+# positive MIPS for every architecture, and must not regress more than 30%
+# below the tracked BENCH_elfsim.json baseline (the 30% headroom makes this
+# a machine-noise-tolerant sanity gate, not a precision benchmark).
+bench="$(mktemp -d)/bench.json"
+./target/release/elfsim --bench-json "$bench" \
+    --bench-baseline BENCH_elfsim.json >/dev/null
+if command -v jq >/dev/null; then
+    jq -e '.schema == "elfsim-bench-v1"
+           and (.results | length) == 7
+           and all(.results[]; .mips > 0 and .cycles_per_sec > 0)' \
+        "$bench" >/dev/null
+else
+    python3 - "$bench" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["schema"] == "elfsim-bench-v1", r["schema"]
+assert len(r["results"]) == 7, r["results"]
+assert all(x["mips"] > 0 and x["cycles_per_sec"] > 0 for x in r["results"])
+EOF
+fi
+rm -f "$bench"

@@ -11,9 +11,9 @@
 use crate::config::BackendConfig;
 use crate::memdep::MemDepTable;
 use elf_mem::MemorySystem;
-use elf_types::{Addr, Cycle, FetchMode, InstClass, Prediction, SeqNum, StaticInst};
+use elf_types::{Addr, Cycle, FetchMode, FxHashMap, InstClass, Prediction, SeqNum, StaticInst};
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// An instruction entering the back-end, annotated by the path tracker.
 #[derive(Debug, Clone, Copy)]
@@ -290,14 +290,35 @@ pub struct Backend {
     lsq_used: usize,
     /// Dispatched-but-not-issued entries (issue-queue occupancy).
     iq_used: usize,
-    /// Entries whose dependencies are all complete, in program order.
-    ready: BTreeSet<u64>,
+    /// Entries whose dependencies are all complete, kept sorted in
+    /// program (fid) order. A sorted `Vec` beats a `BTreeSet` here: the
+    /// set stays small (bounded by the issue queue) and is scanned in
+    /// full every cycle, so contiguity wins over asymptotics.
+    ready: Vec<u64>,
     /// Wakeup lists: producer fid -> dependent fids still waiting on it.
-    wakeup: std::collections::HashMap<u64, Vec<u64>>,
-    /// Completion events: (done cycle, fid).
-    exec_heap: BinaryHeap<Reverse<(Cycle, u64)>>,
+    /// FxHash-keyed: fids are dense trusted integers, SipHash is wasted
+    /// work on the per-cycle complete/dispatch paths.
+    wakeup: FxHashMap<u64, Vec<u64>>,
+    /// Recycled wakeup lists — subscriber vectors drained by `complete`
+    /// go back here so steady-state dispatch never allocates.
+    wakeup_pool: Vec<Vec<u64>>,
+    /// Completion events, a min-heap on (done cycle, fid). Keys are
+    /// unique (a fid issues at most once), so pop order is exactly the
+    /// sorted order a `BTreeSet` would give, without per-event tree
+    /// rebalancing; `save_state` sorts the events when serializing.
+    exec_events: BinaryHeap<Reverse<(Cycle, u64)>>,
+    /// fid -> absolute ROB position (`rob_front_pos` + current index).
+    /// O(1) replacement for fid binary searches on the wakeup, issue and
+    /// completion paths; derived state, rebuilt on snapshot restore.
+    rob_pos: FxHashMap<u64, u64>,
+    /// Absolute position of `rob[0]`; advances by one per retirement so
+    /// `rob_pos` entries stay valid without per-retire reindexing.
+    rob_front_pos: u64,
     /// Scratch buffer reused by the issue stage.
     scratch: Vec<u64>,
+    /// Scratch flush lists reused by `complete` (cleared per cycle).
+    raw_flush_scratch: Vec<PendingFlush>,
+    misp_flush_scratch: Vec<PendingFlush>,
     memdep: MemDepTable,
     pending: Option<PendingFlush>,
     stats: BackendStats,
@@ -316,10 +337,15 @@ impl Backend {
             prf_used: 0,
             lsq_used: 0,
             iq_used: 0,
-            ready: BTreeSet::new(),
-            wakeup: std::collections::HashMap::new(),
-            exec_heap: BinaryHeap::new(),
+            ready: Vec::new(),
+            wakeup: FxHashMap::default(),
+            wakeup_pool: Vec::new(),
+            exec_events: BinaryHeap::new(),
+            rob_pos: FxHashMap::default(),
+            rob_front_pos: 0,
             scratch: Vec::new(),
+            raw_flush_scratch: Vec::new(),
+            misp_flush_scratch: Vec::new(),
             memdep: MemDepTable::paper(),
             pending: None,
             stats: BackendStats::default(),
@@ -383,11 +409,31 @@ impl Backend {
         self.dispatch_q.push_back((b, now + u64::from(self.cfg.rename_latency)));
     }
 
+    /// Current ROB index of an in-flight fid, if still in the ROB.
+    #[inline]
+    fn rob_index(&self, fid: u64) -> Option<usize> {
+        self.rob_pos.get(&fid).map(|&p| (p - self.rob_front_pos) as usize)
+    }
+
+    /// Inserts `fid` into the sorted ready list (no-op when present).
+    fn ready_insert(&mut self, fid: u64) {
+        if let Err(pos) = self.ready.binary_search(&fid) {
+            self.ready.insert(pos, fid);
+        }
+    }
+
+    /// Removes `fid` from the sorted ready list (no-op when absent).
+    fn ready_remove(&mut self, fid: u64) {
+        if let Ok(pos) = self.ready.binary_search(&fid) {
+            self.ready.remove(pos);
+        }
+    }
+
     /// The oracle sequence number of an in-flight instruction, if present
     /// and bound.
     #[must_use]
     pub fn seq_of(&self, fid: u64) -> Option<SeqNum> {
-        if let Ok(i) = self.rob.binary_search_by_key(&fid, |e| e.b.fid) {
+        if let Some(i) = self.rob_index(fid) {
             return self.rob[i].b.seq;
         }
         self.dispatch_q.iter().find(|(b, _)| b.fid == fid).and_then(|(b, _)| b.seq)
@@ -407,10 +453,7 @@ impl Backend {
         cursor_target: SeqNum,
         now: Cycle,
     ) {
-        let entry = match self.rob.binary_search_by_key(&fid, |e| e.b.fid) {
-            Ok(i) => Some(&mut self.rob[i]),
-            Err(_) => None,
-        };
+        let entry = self.rob_index(fid).map(|i| &mut self.rob[i]);
         if let Some(e) = entry {
             let was = e.b.mispredicted;
             e.b.pred = Some(pred);
@@ -493,12 +536,13 @@ impl Backend {
     }
 
     fn release_entry(&mut self, e: &RobEntry) {
+        self.rob_pos.remove(&e.b.fid);
         if e.b.sinst.dst.is_some() {
             self.prf_used = self.prf_used.saturating_sub(1);
         }
         if !e.issued {
             self.iq_used = self.iq_used.saturating_sub(1);
-            self.ready.remove(&e.b.fid);
+            self.ready_remove(e.b.fid);
         }
         if e.b.sinst.class.is_mem() {
             self.lsq_used = self.lsq_used.saturating_sub(1);
@@ -515,19 +559,36 @@ impl Backend {
     }
 
     /// One back-end cycle. Returns retired instructions and, at most, one
-    /// applied flush.
+    /// applied flush. Allocating convenience wrapper around
+    /// [`Backend::tick_into`] for tests and tools; the simulator's hot
+    /// loop passes a reusable retire buffer instead.
     pub fn tick(
         &mut self,
         mem: &mut MemorySystem,
         now: Cycle,
     ) -> (Vec<RetiredInst>, Option<AppliedFlush>) {
+        let mut retired = Vec::new();
+        let flush = self.tick_into(mem, now, &mut retired);
+        (retired, flush)
+    }
+
+    /// One back-end cycle, appending this cycle's retirements to `retired`
+    /// (cleared first). The caller owns the buffer so steady-state ticks
+    /// allocate nothing.
+    pub fn tick_into(
+        &mut self,
+        mem: &mut MemorySystem,
+        now: Cycle,
+        retired: &mut Vec<RetiredInst>,
+    ) -> Option<AppliedFlush> {
+        retired.clear();
         self.complete(now);
         self.issue(mem, now);
         self.dispatch(now);
         let flush = self.apply_flush(now);
-        let retired = self.commit(mem, now);
+        self.commit(mem, now, retired);
         self.update_watchdog(now);
-        (retired, flush)
+        flush
     }
 
     fn dispatch(&mut self, now: Cycle) {
@@ -582,19 +643,23 @@ impl Backend {
             let mut deps_left = 0u8;
             for p in producers.iter().flatten() {
                 let in_flight = matches!(
-                    self.rob.binary_search_by_key(p, |e| e.b.fid),
-                    Ok(i) if self.rob[i].state != ExecState::Done
+                    self.rob_index(*p),
+                    Some(i) if self.rob[i].state != ExecState::Done
                 );
                 if in_flight {
                     deps_left += 1;
-                    self.wakeup.entry(*p).or_default().push(b.fid);
+                    self.wakeup
+                        .entry(*p)
+                        .or_insert_with(|| self.wakeup_pool.pop().unwrap_or_default())
+                        .push(b.fid);
                 }
             }
             if deps_left == 0 {
-                self.ready.insert(b.fid);
+                self.ready_insert(b.fid);
             }
             self.iq_used += 1;
             self.stats.dispatched += 1;
+            self.rob_pos.insert(b.fid, self.rob_front_pos + self.rob.len() as u64);
             self.rob.push_back(RobEntry {
                 b,
                 state: ExecState::Waiting,
@@ -619,8 +684,8 @@ impl Backend {
             if issued >= self.cfg.issue_width {
                 break;
             }
-            let Ok(i) = self.rob.binary_search_by_key(fid, |e| e.b.fid) else {
-                self.ready.remove(fid);
+            let Some(i) = self.rob_index(*fid) else {
+                self.ready_remove(*fid);
                 continue;
             };
             let class = {
@@ -674,9 +739,9 @@ impl Backend {
             e.state = ExecState::Executing { done };
             e.issued = true;
             let f = e.b.fid;
-            self.ready.remove(&f);
+            self.ready_remove(f);
             self.iq_used = self.iq_used.saturating_sub(1);
-            self.exec_heap.push(Reverse((done, f)));
+            self.exec_events.push(Reverse((done, f)));
             issued += 1;
         }
         self.scratch = scratch;
@@ -713,34 +778,39 @@ impl Backend {
     }
 
     fn complete(&mut self, now: Cycle) {
-        let mut raw_flushes: Vec<PendingFlush> = Vec::new();
-        let mut mispredict_flushes: Vec<PendingFlush> = Vec::new();
+        // Scratch lists owned by the back-end: taken out for the borrow,
+        // returned (cleared) below, so steady-state cycles allocate nothing.
+        let mut raw_flushes = std::mem::take(&mut self.raw_flush_scratch);
+        let mut mispredict_flushes = std::mem::take(&mut self.misp_flush_scratch);
+        debug_assert!(raw_flushes.is_empty() && mispredict_flushes.is_empty());
 
-        while let Some(&Reverse((done, fid))) = self.exec_heap.peek() {
+        while let Some(&Reverse((done, fid))) = self.exec_events.peek() {
             if done > now {
                 break;
             }
-            self.exec_heap.pop();
-            // Squashed entries leave stale heap events behind; skip them.
-            let Ok(i) = self.rob.binary_search_by_key(&fid, |e| e.b.fid) else { continue };
+            self.exec_events.pop();
+            // Squashed entries leave stale completion events behind; skip them.
+            let Some(i) = self.rob_index(fid) else { continue };
             if !matches!(self.rob[i].state, ExecState::Executing { done: d } if d == done) {
                 continue;
             }
             self.rob[i].state = ExecState::Done;
             let b = self.rob[i].b;
-            // Wake dependents.
-            if let Some(deps) = self.wakeup.remove(&fid) {
-                for d in deps {
-                    if let Ok(j) = self.rob.binary_search_by_key(&d, |e| e.b.fid) {
+            // Wake dependents; the drained subscriber list goes back to the
+            // pool for reuse by dispatch.
+            if let Some(mut deps) = self.wakeup.remove(&fid) {
+                for d in deps.drain(..) {
+                    if let Some(j) = self.rob_index(d) {
                         let e = &mut self.rob[j];
                         if e.state == ExecState::Waiting {
                             e.deps_left = e.deps_left.saturating_sub(1);
                             if e.deps_left == 0 {
-                                self.ready.insert(d);
+                                self.ready_insert(d);
                             }
                         }
                     }
                 }
+                self.wakeup_pool.push(deps);
             }
 
             // Branch resolution.
@@ -789,9 +859,11 @@ impl Backend {
             }
         }
 
-        for f in mispredict_flushes.into_iter().chain(raw_flushes) {
+        for f in mispredict_flushes.drain(..).chain(raw_flushes.drain(..)) {
             self.request_flush(f);
         }
+        self.raw_flush_scratch = raw_flushes;
+        self.misp_flush_scratch = mispredict_flushes;
     }
 
     fn request_flush(&mut self, f: PendingFlush) {
@@ -906,8 +978,7 @@ impl Backend {
         })
     }
 
-    fn commit(&mut self, mem: &mut MemorySystem, now: Cycle) -> Vec<RetiredInst> {
-        let mut retired = Vec::new();
+    fn commit(&mut self, mem: &mut MemorySystem, now: Cycle, retired: &mut Vec<RetiredInst>) {
         for _ in 0..self.cfg.commit_width {
             let Some(head) = self.rob.front() else { break };
             if head.state != ExecState::Done || !head.b.is_bound() {
@@ -921,6 +992,7 @@ impl Backend {
             }
             // invariant: the while-let binding proves the ROB is non-empty.
             let e = self.rob.pop_front().expect("checked above");
+            self.rob_front_pos += 1;
             self.release_entry(&e);
             if e.b.sinst.class == InstClass::Store {
                 if let Some(a) = e.b.mem_addr {
@@ -930,7 +1002,6 @@ impl Backend {
             self.stats.retired += 1;
             retired.push(RetiredInst { b: e.b });
         }
-        retired
     }
 
     fn update_watchdog(&mut self, now: Cycle) {
@@ -944,6 +1015,106 @@ impl Backend {
         }
     }
 
+    /// Conservative idle analysis for the simulator's idle-cycle skipper.
+    ///
+    /// Returns `Some(t)` when ticking the back-end at any cycle in
+    /// `[now, t)` provably changes no state and no statistic *except* the
+    /// dispatch-blocked `rob_full_cycles` counter, which
+    /// [`Backend::charge_idle_cycles`] applies in bulk for the skipped
+    /// span. Returns `None` whenever the back-end may act at `now` — the
+    /// caller then falls back to a normal tick. Stopping earlier than
+    /// strictly necessary is always safe; claiming idleness that is not
+    /// real would desynchronize the statistics, so every condition below
+    /// errs toward `None`.
+    #[must_use]
+    pub fn quiescent_until(&self, now: Cycle) -> Option<Cycle> {
+        let mut until = Cycle::MAX;
+        // Issue: anything ready would execute this cycle.
+        if !self.ready.is_empty() {
+            return None;
+        }
+        // Complete: next completion event (stale events count — popping
+        // them mutates the event set, so the reference walk must do it at
+        // the same cycle).
+        if let Some(&Reverse((done, _))) = self.exec_events.peek() {
+            if done <= now {
+                return None;
+            }
+            until = until.min(done);
+        }
+        // Redirect in flight.
+        if let Some(p) = self.pending {
+            if p.apply_at <= now {
+                return None;
+            }
+            until = until.min(p.apply_at);
+        }
+        // Dispatch: the front either renames this cycle (active), waits for
+        // its rename latency (future event), or is blocked on a full
+        // resource — a state only another event can clear. Being blocked on
+        // a full ROB charges `rob_full_cycles` each cycle; that is the one
+        // statistic charge_idle_cycles replays.
+        if let Some(&(b, ready)) = self.dispatch_q.front() {
+            if ready > now {
+                until = until.min(ready);
+            } else if self.rob.len() < self.cfg.rob_entries
+                && self.iq_used < self.cfg.iq_entries
+                && !(b.sinst.class.is_mem() && self.lsq_used >= self.cfg.lsq_entries)
+                && !(b.sinst.dst.is_some() && self.prf_used >= self.cfg.prf_entries)
+            {
+                return None;
+            }
+        }
+        // Commit / watchdog.
+        match self.rob.front() {
+            Some(head) if head.b.is_bound() => {
+                if head.state == ExecState::Done
+                    && self.pending.is_none_or(|p| head.b.fid <= p.boundary_fid)
+                {
+                    return None;
+                }
+                // A stale watchdog timestamp must be cleared by a real tick
+                // before skipping is sound again.
+                if self.head_stuck_since.is_some() {
+                    return None;
+                }
+            }
+            Some(_) => match self.head_stuck_since {
+                // Wrong-path head not yet observed by update_watchdog.
+                None => return None,
+                Some(since) => {
+                    // The simulator forces a resync the first cycle
+                    // `now - since` exceeds the watchdog budget.
+                    let trip = since
+                        .saturating_add(u64::from(self.cfg.watchdog_cycles))
+                        .saturating_add(1);
+                    if trip <= now {
+                        return None;
+                    }
+                    until = until.min(trip);
+                }
+            },
+            None => {
+                if self.head_stuck_since.is_some() {
+                    return None;
+                }
+            }
+        }
+        (until > now).then_some(until)
+    }
+
+    /// Replays the statistics a cycle-by-cycle walk would have charged
+    /// over `n` skipped idle cycles starting at `now` (see
+    /// [`Backend::quiescent_until`]): currently only the dispatch-blocked
+    /// ROB-full counter.
+    pub fn charge_idle_cycles(&mut self, n: u64, now: Cycle) {
+        if let Some(&(_, ready)) = self.dispatch_q.front() {
+            if ready <= now && self.rob.len() >= self.cfg.rob_entries {
+                self.stats.rob_full_cycles += n;
+            }
+        }
+    }
+
     /// ROB occupancy (for statistics/tests).
     #[must_use]
     pub fn rob_len(&self) -> usize {
@@ -954,9 +1125,9 @@ impl Backend {
     /// map, resource counters, scheduler structures, memory-dependence
     /// table, pending flush, statistics and the watchdog timer.
     ///
-    /// The completion heap is written as a sorted vector ([`BinaryHeap`]
-    /// iteration order is unspecified) and the issue-stage scratch buffer
-    /// is transient, so neither perturbs determinism. The configuration is
+    /// The completion events are sorted before writing (the heap's
+    /// internal layout is not canonical) and the scratch buffers are
+    /// transient, so neither perturbs determinism. The configuration is
     /// not written: restore requires a back-end built from the same config.
     pub fn save_state(&self, w: &mut elf_types::SnapWriter) {
         use elf_types::Snap;
@@ -971,9 +1142,12 @@ impl Backend {
             fid.save(w);
         }
         self.wakeup.save(w);
-        let mut heap: Vec<(Cycle, u64)> = self.exec_heap.iter().map(|Reverse(p)| *p).collect();
-        heap.sort_unstable();
-        heap.save(w);
+        (self.exec_events.len() as u64).save(w);
+        let mut events: Vec<(Cycle, u64)> = self.exec_events.iter().map(|r| r.0).collect();
+        events.sort_unstable();
+        for ev in &events {
+            ev.save(w);
+        }
         self.memdep.save_state(w);
         self.pending.save(w);
         self.stats.save(w);
@@ -1001,6 +1175,13 @@ impl Backend {
             )));
         }
         self.rob = rob;
+        // `rob_pos` is derived state: re-anchor positions at the restored
+        // ROB's current layout.
+        self.rob_front_pos = 0;
+        self.rob_pos.clear();
+        for (i, e) in self.rob.iter().enumerate() {
+            self.rob_pos.insert(e.b.fid, i as u64);
+        }
         self.dispatch_q = Snap::load(r)?;
         self.reg_map = Snap::load(r)?;
         self.prf_used = Snap::load(r)?;
@@ -1009,11 +1190,14 @@ impl Backend {
         let n_ready = r.count("ready set")?;
         self.ready.clear();
         for _ in 0..n_ready {
-            self.ready.insert(Snap::load(r)?);
+            self.ready_insert(Snap::load(r)?);
         }
         self.wakeup = Snap::load(r)?;
-        let heap: Vec<(Cycle, u64)> = Snap::load(r)?;
-        self.exec_heap = heap.into_iter().map(Reverse).collect();
+        let n_events = r.count("exec event set")?;
+        self.exec_events.clear();
+        for _ in 0..n_events {
+            self.exec_events.push(Reverse(Snap::load(r)?));
+        }
         self.memdep.load_state(r)?;
         self.pending = Snap::load(r)?;
         self.stats = Snap::load(r)?;
@@ -1127,10 +1311,11 @@ mod tests {
             be.accept(b, 0);
         }
         let (_, retired) = run_until_empty(&mut be, &mut mem);
-        let fids: Vec<u64> = retired.iter().map(|r| r.b.fid).collect();
-        let mut sorted = fids.clone();
-        sorted.sort_unstable();
-        assert_eq!(fids, sorted, "commit must be in program order");
+        assert_eq!(retired.len(), 10);
+        assert!(
+            retired.windows(2).all(|w| w[0].b.fid < w[1].b.fid),
+            "commit must be in program order"
+        );
     }
 
     #[test]

@@ -110,6 +110,12 @@ pub struct SimConfig {
     /// default) injects nothing and leaves simulation bit-identical to a
     /// plan-free build.
     pub fault: Option<FaultPlan>,
+    /// Skip provably idle cycles (front-end waiting on a miss, back-end
+    /// drained or blocked) by advancing simulated time to the next event
+    /// and charging per-cycle statistics in bulk. Statistics are
+    /// bit-identical either way (`tests/perf_equivalence.rs` pins this);
+    /// disabling it forces the reference cycle-by-cycle walk. Default on.
+    pub idle_skip: bool,
     /// Flight-recorder capacity: how many recent pipeline events are
     /// retained for diagnostic reports (0 disables retention). Default 64.
     pub recorder_events: usize,
@@ -127,6 +133,7 @@ impl SimConfig {
             progress_cap_base: 200_000,
             progress_cap_per_inst: 400,
             fault: None,
+            idle_skip: true,
             recorder_events: 64,
         }
     }

@@ -221,6 +221,12 @@ impl FaultInjector {
         self.counts
     }
 
+    /// Earliest scheduled fire cycle across all armed kinds (idle-cycle
+    /// skipping must never jump past a due injection).
+    pub(crate) fn next_due(&self) -> Option<Cycle> {
+        self.next_fire.iter().flatten().copied().min()
+    }
+
     /// Serializes the injector's random-stream position, per-kind
     /// next-fire cycles and injection counts. The plan itself is part of
     /// the simulator configuration and is not written here.

@@ -30,6 +30,15 @@ impl Histogram {
         self.sum += value as u64;
     }
 
+    /// Records the same sample `n` times in one step (bulk accounting for
+    /// skipped idle cycles; equivalent to `n` [`Histogram::record`] calls).
+    pub fn record_n(&mut self, value: usize, n: u64) {
+        let i = value.min(self.buckets.len() - 1);
+        self.buckets[i] += n;
+        self.total += n;
+        self.sum += value as u64 * n;
+    }
+
     /// Number of samples.
     #[must_use]
     pub fn count(&self) -> u64 {

@@ -30,6 +30,7 @@ pub mod recorder;
 pub mod sim;
 pub mod snapshot;
 pub mod stats;
+pub mod throughput;
 
 pub use config::{BackendConfig, SimConfig};
 pub use error::{DiagnosticReport, SimError};
@@ -41,3 +42,4 @@ pub use recorder::{FlightRecorder, PipelineEvent, TimedEvent};
 pub use sim::Simulator;
 pub use snapshot::Snapshot;
 pub use stats::SimStats;
+pub use throughput::ThroughputSample;

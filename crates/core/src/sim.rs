@@ -72,6 +72,13 @@ pub struct Simulator {
     rob_occupancy: Histogram,
     /// Correct-path instructions delivered per cycle.
     delivery_rate: Histogram,
+    /// Cycles advanced in bulk by idle-cycle skipping (diagnostic: these
+    /// are regular simulated cycles, already included in `cycle`).
+    skipped_cycles: u64,
+    // Reusable per-tick buffers (scratch, not simulated state; never
+    // serialized).
+    tick_out: elf_frontend::TickOutput,
+    retired_scratch: Vec<RetiredInst>,
 }
 
 impl Simulator {
@@ -140,6 +147,9 @@ impl Simulator {
             trace_watchdogs: std::env::var("ELF_TRACE_WD").is_ok(),
             rob_occupancy: Histogram::new(cfg.backend.rob_entries),
             delivery_rate: Histogram::new(cfg.frontend.fetch_width * 2),
+            skipped_cycles: 0,
+            tick_out: elf_frontend::TickOutput::default(),
+            retired_scratch: Vec::new(),
             cfg,
             retired: 0,
             cond_branches: 0,
@@ -223,8 +233,70 @@ impl Simulator {
                 return Err(SimError::Wedged(Box::new(self.diagnostic_report(target))));
             }
             self.tick();
+            if self.retired >= target {
+                // Don't skip past the window boundary: the reference walk
+                // returns right here, so a trailing bulk advance would
+                // charge cycles the stepped run never sees.
+                break;
+            }
+            if self.cfg.idle_skip {
+                if let Some(t) = self.idle_skip_target(cap) {
+                    self.skip_idle(t - self.cycle);
+                }
+            }
         }
         Ok(self.stats())
+    }
+
+    /// If every component is provably idle, returns the earliest future
+    /// cycle at which anything may happen (clamped to the wedge cap, the
+    /// no-progress safety net and the next scheduled fault). `None` means
+    /// the next tick must be simulated normally.
+    fn idle_skip_target(&self, cap: Cycle) -> Option<Cycle> {
+        let now = self.cycle;
+        let mut t = self.be.quiescent_until(now)?;
+        if self.be.dispatch_room() {
+            // With dispatch room the front-end ticks every cycle; without
+            // it the front-end is frozen and only the back-end matters.
+            t = t.min(self.fe.quiescent_until(now)?);
+        }
+        // The no-progress safety net fires once `now - last_progress`
+        // exceeds 2000 — that tick acts even with both engines idle.
+        t = t.min(self.last_progress.saturating_add(2001));
+        // Never jump over a scheduled fault injection.
+        if let Some(inj) = &self.injector {
+            if let Some(due) = inj.next_due() {
+                t = t.min(due);
+            }
+        }
+        // Stopping at the cap reproduces the reference wedge behavior:
+        // the no-op ticks up to `cap - 1` are charged, then `run` reports.
+        t = t.min(cap);
+        (t > now).then_some(t)
+    }
+
+    /// Advances simulated time by `k` provably idle cycles, applying the
+    /// per-cycle bookkeeping every skipped tick would have performed. Must
+    /// mirror `tick`'s unconditional statistics exactly — the
+    /// `perf_equivalence` suite pins bit-identical [`SimStats`] between
+    /// skipped and stepped runs.
+    fn skip_idle(&mut self, k: u64) {
+        debug_assert!(k > 0);
+        if self.be.dispatch_room() {
+            self.fe.charge_idle_cycles(k);
+        }
+        self.delivery_rate.record_n(0, k);
+        self.rob_occupancy.record_n(self.be.rob_len(), k);
+        self.be.charge_idle_cycles(k, self.cycle);
+        self.skipped_cycles += k;
+        self.cycle += k;
+    }
+
+    /// Cycles advanced in bulk by idle-cycle skipping since construction
+    /// (or restore). Always 0 when `SimConfig::idle_skip` is off.
+    #[must_use]
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
     }
 
     /// Runs `n` instructions of warm-up and resets all statistics.
@@ -402,6 +474,7 @@ impl Simulator {
         self.stat_cycle_base.save(w);
         self.rob_occupancy.save_state(w);
         self.delivery_rate.save_state(w);
+        self.skipped_cycles.save(w);
     }
 
     /// Restores state saved by `save_state` into a simulator built from
@@ -446,6 +519,7 @@ impl Simulator {
         self.stat_cycle_base = Snap::load(r)?;
         self.rob_occupancy.load_state(r)?;
         self.delivery_rate.load_state(r)?;
+        self.skipped_cycles = Snap::load(r)?;
         self.recent.clear();
         Ok(())
     }
@@ -458,11 +532,15 @@ impl Simulator {
         // Fetch backpressure: the front-end stalls while the decode/rename
         // queue is full (otherwise wrong-path run-ahead grows unboundedly
         // and branch resolution falls arbitrarily far behind).
-        let out = if self.be.dispatch_room() {
-            self.fe.tick(&self.prog, &mut self.mem, now)
+        //
+        // The output buffer is a reusable field, moved out for the borrow
+        // and restored at the end of the tick.
+        let mut out = std::mem::take(&mut self.tick_out);
+        if self.be.dispatch_room() {
+            self.fe.tick_into(&self.prog, &mut self.mem, now, &mut out);
         } else {
-            elf_frontend::TickOutput::default()
-        };
+            out.clear();
+        }
 
         // Divergence squash (U-ELF, trust-DCF resolution): squash younger
         // than the diverging branch and make the DCF's direction its
@@ -583,12 +661,15 @@ impl Simulator {
 
         self.delivery_rate.record(out.delivered.len());
         self.rob_occupancy.record(self.be.rob_len());
+        self.tick_out = out;
 
-        // Back-end cycle.
-        let (retired, flush) = self.be.tick(&mut self.mem, now);
+        // Back-end cycle (the retirement buffer is reused tick to tick).
+        let mut retired = std::mem::take(&mut self.retired_scratch);
+        let flush = self.be.tick_into(&mut self.mem, now, &mut retired);
         for r in &retired {
             self.retire(r);
         }
+        self.retired_scratch = retired;
         if let Some(f) = flush {
             self.recorder.record(
                 now,

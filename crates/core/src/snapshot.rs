@@ -44,7 +44,7 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"ELFSNAP\0";
 /// Current snapshot layout version. Readers reject any other value: the
 /// format is not self-describing, so a layout change anywhere in the
 /// serialized state must bump this.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// A complete, restorable simulator checkpoint.
 #[derive(Debug, Clone)]
@@ -413,6 +413,7 @@ pub(crate) fn save_sim_config(c: &SimConfig, w: &mut SnapWriter) {
             save_fault_plan(p, w);
         }
     }
+    c.idle_skip.save(w);
     c.recorder_events.save(w);
 }
 
@@ -431,6 +432,7 @@ pub(crate) fn load_sim_config(r: &mut SnapReader<'_>) -> Result<SimConfig, SnapE
                 return Err(SnapError::BadTag { what: "fault plan tag", tag: u64::from(tag) })
             }
         },
+        idle_skip: Snap::load(r)?,
         recorder_events: Snap::load(r)?,
     })
 }
@@ -476,6 +478,7 @@ mod tests {
         cfg.fault = Some(FaultPlan::single(FaultKind::CorruptBtb, 25, 7));
         cfg.recorder_events = 128;
         cfg.progress_cap_base = 12_345;
+        cfg.idle_skip = false;
         assert_eq!(roundtrip_cfg(&cfg), cfg);
     }
 

@@ -1,0 +1,186 @@
+//! Simulation-kernel throughput measurement.
+//!
+//! This module answers "how fast does the simulator itself run", not "how
+//! fast is the simulated machine": it times a wall-clock window around
+//! [`Simulator::run`] and reports **simulated cycles per second** and
+//! **MIPS** (millions of simulated instructions retired per wall second).
+//! The numbers feed the tracked `BENCH_elfsim.json` artifact at the repo
+//! root and the CI regression gate (`elfsim --bench-json --bench-baseline`),
+//! so the report format is a stable, versioned JSON schema
+//! ([`SCHEMA`]) rather than free-form text.
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::sim::Simulator;
+use elf_frontend::FetchArch;
+use elf_trace::Workload;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Schema tag written into every throughput report.
+pub const SCHEMA: &str = "elfsim-bench-v1";
+
+/// One timed simulation window under one fetch architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputSample {
+    /// Architecture label (`FetchArch::label`).
+    pub arch: String,
+    /// Simulated cycles elapsed in the measured window.
+    pub cycles: u64,
+    /// Instructions retired in the measured window.
+    pub instructions: u64,
+    /// Wall-clock seconds the measured window took.
+    pub wall_seconds: f64,
+}
+
+impl ThroughputSample {
+    /// Simulated cycles advanced per wall-clock second.
+    #[must_use]
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.wall_seconds.max(1e-9)
+    }
+
+    /// Millions of simulated instructions retired per wall-clock second.
+    #[must_use]
+    pub fn mips(&self) -> f64 {
+        self.instructions as f64 / self.wall_seconds.max(1e-9) / 1e6
+    }
+}
+
+/// Runs `warmup` instructions untimed, then times a `window`-instruction
+/// run of the given architecture on `w`. The warm-up doubles as a process
+/// warm-up (page faults, branch-predictor table allocation), so the timed
+/// region measures the steady-state kernel.
+pub fn measure(
+    w: &Workload,
+    arch: FetchArch,
+    warmup: u64,
+    window: u64,
+) -> Result<ThroughputSample, SimError> {
+    let cfg = SimConfig::baseline(arch);
+    let mut sim = Simulator::try_for_workload(cfg, w)?;
+    sim.warm_up(warmup)?;
+    let start = Instant::now();
+    let stats = sim.run(window)?;
+    let wall_seconds = start.elapsed().as_secs_f64();
+    Ok(ThroughputSample {
+        arch: arch.label().to_owned(),
+        cycles: stats.cycles,
+        instructions: stats.retired,
+        wall_seconds,
+    })
+}
+
+/// Renders a [`SCHEMA`] report: the measured samples for one workload,
+/// one JSON object per architecture.
+#[must_use]
+pub fn render_report(workload: &str, warmup: u64, window: u64, samples: &[ThroughputSample]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(out, "  \"workload\": \"{workload}\",");
+    let _ = writeln!(out, "  \"warmup\": {warmup},");
+    let _ = writeln!(out, "  \"window\": {window},");
+    let _ = writeln!(out, "  \"results\": [");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 < samples.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"arch\": \"{}\", \"cycles\": {}, \"instructions\": {}, \
+             \"wall_seconds\": {:.6}, \"cycles_per_sec\": {:.0}, \"mips\": {:.3}}}{comma}",
+            s.arch,
+            s.cycles,
+            s.instructions,
+            s.wall_seconds,
+            s.cycles_per_sec(),
+            s.mips(),
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Extracts `(arch, mips)` pairs from a [`SCHEMA`] report produced by
+/// [`render_report`]. Tolerant of whitespace but not of a different field
+/// order — it reads the format this module writes, which is all the
+/// regression gate needs. Returns `None` when the schema tag is missing or
+/// a result line does not parse.
+#[must_use]
+pub fn parse_baseline(json: &str) -> Option<Vec<(String, f64)>> {
+    if !json.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return None;
+    }
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"arch\":") {
+            continue;
+        }
+        let arch = line.split('"').nth(3)?.to_owned();
+        let mips_field = line.split("\"mips\":").nth(1)?;
+        let mips: f64 = mips_field
+            .trim()
+            .trim_end_matches(['}', ',', ' '])
+            .parse()
+            .ok()?;
+        out.push((arch, mips));
+    }
+    (!out.is_empty()).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(arch: &str, mips: f64) -> ThroughputSample {
+        // 1 second of wall time makes instructions == mips * 1e6.
+        ThroughputSample {
+            arch: arch.to_owned(),
+            cycles: 2_000_000,
+            instructions: (mips * 1e6) as u64,
+            wall_seconds: 1.0,
+        }
+    }
+
+    #[test]
+    fn derived_rates_follow_the_window() {
+        let s = ThroughputSample {
+            arch: "dcf".to_owned(),
+            cycles: 3_000_000,
+            instructions: 1_500_000,
+            wall_seconds: 2.0,
+        };
+        assert!((s.cycles_per_sec() - 1_500_000.0).abs() < 1.0);
+        assert!((s.mips() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_round_trips_through_the_baseline_parser() {
+        let samples = vec![sample("dcf", 1.25), sample("u-elf", 0.875)];
+        let json = render_report("641.leela", 1000, 2000, &samples);
+        let parsed = parse_baseline(&json).expect("own report parses");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "dcf");
+        assert!((parsed[0].1 - 1.25).abs() < 1e-3);
+        assert_eq!(parsed[1].0, "u-elf");
+        assert!((parsed[1].1 - 0.875).abs() < 1e-3);
+    }
+
+    #[test]
+    fn baseline_parser_rejects_foreign_json() {
+        assert!(parse_baseline("{}").is_none());
+        assert!(parse_baseline("{\"schema\": \"other\", \"results\": []}").is_none());
+    }
+
+    #[test]
+    fn measure_times_a_real_window() {
+        let w = elf_trace::workloads::by_name("641.leela").unwrap();
+        let s = measure(&w, FetchArch::Dcf, 500, 1_000).expect("bench window runs");
+        assert_eq!(s.arch, FetchArch::Dcf.label());
+        assert!(s.instructions >= 1_000);
+        assert!(s.cycles > 0);
+        assert!(s.wall_seconds > 0.0);
+        assert!(s.mips() > 0.0 && s.cycles_per_sec() > 0.0);
+    }
+}

@@ -204,6 +204,15 @@ impl DivergenceTracker {
         None
     }
 
+    /// Whether a [`DivergenceTracker::compare`] call would provably return
+    /// `None` without mutating anything: the in-order walk exits on its
+    /// first iteration when either bitvector stream is empty. Used by the
+    /// idle-cycle analysis to prove the per-cycle comparison is a no-op.
+    #[must_use]
+    pub fn compare_is_noop(&self) -> bool {
+        self.coupled_vec.is_empty() || self.decoupled_vec.is_empty()
+    }
+
     /// Whether every recorded instruction has been validated — the mode
     /// switch completes only once all coupled instructions have passed
     /// through Decode and matched (paper §IV-C3).

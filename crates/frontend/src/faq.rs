@@ -161,6 +161,14 @@ impl Faq {
         self.occupancy_samples += 1;
     }
 
+    /// Records `n` occupancy samples at the current occupancy in one step
+    /// (bulk accounting for skipped idle cycles; equivalent to calling
+    /// [`Faq::sample_occupancy`] `n` times).
+    pub fn sample_occupancy_n(&mut self, n: u64) {
+        self.occupancy_sum += self.entries.len() as u64 * n;
+        self.occupancy_samples += n;
+    }
+
     /// Mean sampled occupancy.
     #[must_use]
     pub fn mean_occupancy(&self) -> f64 {

@@ -17,9 +17,9 @@ use elf_predictors::{Bimodal, BranchTargetCache, Gshare, Ittage, Ras, Tage};
 use elf_trace::Program;
 use elf_types::{
     seq_pc, Addr, BranchKind, Cycle, FaqBranch, FaqEntry, FaqTermination, FetchMode,
-    FetchedInst, PredSource, Prediction, INST_BYTES, MAX_BLOCK_INSTS,
+    FetchedInst, FxHashMap, PredSource, Prediction, INST_BYTES, MAX_BLOCK_INSTS,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// An instruction delivered to the back-end, tagged with a monotonically
 /// increasing front-end id used for flush boundaries.
@@ -54,6 +54,15 @@ pub struct TickOutput {
     pub delivered: Vec<DeliveredInst>,
     /// If set, a U-ELF divergence was resolved in favor of the DCF.
     pub squash: Option<DivergenceSquash>,
+}
+
+impl TickOutput {
+    /// Empties the output for reuse, keeping the delivery buffer's
+    /// allocation (the simulator hands the same instance back every tick).
+    pub fn clear(&mut self) {
+        self.delivered.clear();
+        self.squash = None;
+    }
 }
 
 /// A speculative RAS operation replayed during flush repair.
@@ -150,7 +159,7 @@ pub struct Frontend {
     // Shared speculative global history (TAGE + ITTAGE).
     spec_hist: u128,
     retired_hist: u128,
-    snapshots: HashMap<u64, u128>,
+    snapshots: FxHashMap<u64, u128>,
 
     // DCF engine.
     dcf_pc: Addr,
@@ -183,6 +192,16 @@ pub struct Frontend {
     /// latency measurement).
     pending_resteer_cycle: Option<Cycle>,
     stats: FrontendStats,
+
+    // Scratch storage (not simulated state; never serialized). Retired
+    // fetch-group buffers are parked here instead of freed so the fetch
+    // stages run allocation-free in steady state.
+    group_pool: Vec<Vec<GroupInst>>,
+    /// Reusable FAQ-head copy for the resync stage (branch vec capacity
+    /// persists across cycles).
+    resync_scratch: FaqEntry,
+    /// Reusable candidate list for the prefetch probe stage.
+    prefetch_scratch: Vec<Addr>,
 }
 
 impl Frontend {
@@ -217,7 +236,7 @@ impl Frontend {
             cpl_ras: Ras::new(cfg.cpl_ras_entries),
             spec_hist: 0,
             retired_hist: 0,
-            snapshots: HashMap::new(),
+            snapshots: FxHashMap::default(),
             dcf_pc: start_pc,
             dcf_busy: 0,
             faq: Faq::new(cfg.faq_entries),
@@ -236,8 +255,32 @@ impl Frontend {
             last_retired_fid: 0,
             pending_resteer_cycle: None,
             stats: FrontendStats::default(),
+            group_pool: Vec::new(),
+            resync_scratch: FaqEntry::placeholder(),
+            prefetch_scratch: Vec::new(),
             cfg,
             arch,
+        }
+    }
+
+    /// Takes a cleared instruction buffer from the pool (or a fresh one).
+    fn take_insts(&mut self) -> Vec<GroupInst> {
+        self.group_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a fetch group's instruction buffer to the pool. The pool is
+    /// bounded by the in-flight group limit; anything beyond that is freed.
+    fn recycle_insts(&mut self, mut insts: Vec<GroupInst>) {
+        insts.clear();
+        if self.group_pool.len() <= self.cfg.max_inflight_groups + 2 {
+            self.group_pool.push(insts);
+        }
+    }
+
+    /// Empties the fetch-group queue, recycling every buffer.
+    fn clear_groups(&mut self) {
+        while let Some(g) = self.groups.pop_front() {
+            self.recycle_insts(g.insts);
         }
     }
 
@@ -337,8 +380,25 @@ impl Frontend {
     // Tick
     // ------------------------------------------------------------------
 
-    /// Advances the front-end by one cycle.
+    /// Advances the front-end by one cycle. Allocating convenience wrapper
+    /// around [`Frontend::tick_into`] for tests and examples.
     pub fn tick(&mut self, prog: &Program, mem: &mut MemorySystem, cycle: Cycle) -> TickOutput {
+        let mut out = TickOutput::default();
+        self.tick_into(prog, mem, cycle, &mut out);
+        out
+    }
+
+    /// Advances the front-end by one cycle, writing results into a
+    /// caller-owned output buffer (cleared first). The hot simulation loop
+    /// reuses one `TickOutput` so steady-state ticks do not allocate.
+    pub fn tick_into(
+        &mut self,
+        prog: &Program,
+        mem: &mut MemorySystem,
+        cycle: Cycle,
+        out: &mut TickOutput,
+    ) {
+        out.clear();
         self.stats.cycles += 1;
         self.faq.sample_occupancy();
         if self.arch.has_dcf() {
@@ -348,22 +408,21 @@ impl Frontend {
             }
         }
 
-        let mut out = TickOutput::default();
         match self.arch {
             FetchArch::NoDcf => {
-                self.decode_stage(prog, cycle, &mut out);
+                self.decode_stage(prog, cycle, out);
                 self.fetch_stage_nodcf(mem, cycle);
             }
             FetchArch::Dcf | FetchArch::Elf(_) => {
-                self.decode_stage(prog, cycle, &mut out);
+                self.decode_stage(prog, cycle, out);
                 if matches!(self.arch, FetchArch::Elf(_)) {
                     // Bitvector/target-queue comparison runs every cycle,
                     // including after the mode switch until the coupled
                     // stream fully drains (paper §IV-C3).
-                    self.check_divergence(prog, cycle, &mut out);
+                    self.check_divergence(prog, cycle, out);
                 }
                 if self.mode == FetchMode::Coupled {
-                    self.resync_stage(prog, cycle, &mut out);
+                    self.resync_stage(prog, cycle, out);
                 }
                 self.fetch_stage(prog, mem, cycle);
                 self.dcf_generate(prog, mem, cycle);
@@ -372,7 +431,6 @@ impl Frontend {
                 }
             }
         }
-        out
     }
 
     // ------------------------------------------------------------------
@@ -566,106 +624,132 @@ impl Frontend {
             if self.mode != FetchMode::Coupled {
                 return;
             }
-            let Some(head) = self.faq.head(cycle) else { return };
-            let head_count = u64::from(head.inst_count);
-            let head_clone = head.clone();
-            // Proxy blocks (all-level BTB miss) carry no branch info: the
-            // fetcher must not resynchronize onto them — decode keeps the
-            // control-flow authority through those regions (§III-C).
-            let proxy = head_clone.term == FaqTermination::BtbMiss;
-
-            // Pending stall covered by this block?
-            if let Some(st) = self.stall {
-                if self.dc <= self.dcc && self.dcc < self.dc + head_count {
-                    if proxy {
-                        // The DCF has no idea either: Decode consults the
-                        // main predictors (TAGE/RAS/BTC/ITTAGE) and the DCF
-                        // is resteered to follow the fetcher.
-                        let (pred, extra) =
-                            self.consult_main_predictors(st.pc, st.kind, st.static_target);
-                        self.deliver_one(
-                            prog,
-                            st.pc,
-                            Some(pred),
-                            FetchMode::Coupled,
-                            cycle,
-                            out,
-                        );
-                        self.dcc += 1;
-                        let next = if pred.taken {
-                            pred.target.unwrap_or(st.pc + INST_BYTES)
-                        } else {
-                            st.pc + INST_BYTES
-                        };
-                        self.stall = None;
-                        self.stats.decode_resteers += 1;
-                        self.coupled_restart_dcf(next, cycle, extra);
-                        return;
-                    }
-                    // Real block: deliver the stalled branch with the DCF's
-                    // prediction and switch to decoupled mode.
-                    let off = (self.dcc - self.dc) as u8;
-                    let pred = head_clone
-                        .branches
-                        .iter()
-                        .find(|b| b.offset == off)
-                        .map(|b| Prediction {
-                            taken: b.pred_taken,
-                            target: b.pred_target,
-                            source: b.source,
-                        })
-                        .unwrap_or_else(Prediction::not_taken);
-                    self.record_decoupled_prefix(&head_clone, off + 1);
-                    self.deliver_one(prog, st.pc, Some(pred), FetchMode::Coupled, cycle, out);
-                    self.record_coupled_for_pred(prog, st.pc, &pred, out);
-                    self.stall = None;
-                    self.switch_to_decoupled(&head_clone, off + 1);
+            // Copy the head into the persistent scratch entry (its branch
+            // vector keeps its capacity across cycles) so the `&mut self`
+            // stages below can run while the copy is read.
+            let mut head = std::mem::replace(&mut self.resync_scratch, FaqEntry::placeholder());
+            match self.faq.head(cycle) {
+                Some(h) => head.copy_from(h),
+                None => {
+                    self.resync_scratch = head;
                     return;
                 }
-                if self.dc + head_count <= self.dcc {
-                    // Block fully covered by already-delivered instructions.
-                    self.record_decoupled_prefix(&head_clone, head_clone.inst_count);
-                    self.dc += head_count;
-                    self.faq.pop();
-                    self.check_divergence(prog, cycle, out);
-                    continue;
-                }
+            }
+            let again = self.resync_step(prog, cycle, out, &head);
+            self.resync_scratch = head;
+            if !again {
                 return;
             }
+        }
+    }
 
-            // Fig. 5 switch test: will the decoupled stream cover everything
-            // fetched in coupled mode? (Never onto a proxy block.)
-            if !proxy && self.dc + head_count >= self.fcc {
-                let amend = (self.fcc - self.dc) as u8;
-                self.record_decoupled_prefix(&head_clone, amend);
-                // Positions dcc..fcc are fetched but not yet decoded; their
-                // FAQ-side predictions hand off positionally (Fig. 5 cycle 2
-                // validation of in-flight coupled instructions).
-                self.leftover_preds.clear();
-                let first = (self.dcc.max(self.dc) - self.dc) as u8;
-                for off in first..amend {
-                    let p = head_clone.branches.iter().find(|b| b.offset == off).map(|b| {
-                        Prediction {
-                            taken: b.pred_taken,
-                            target: b.pred_target,
-                            source: b.source,
-                        }
-                    });
-                    self.leftover_preds.push_back(p);
+    /// One resynchronization comparison against the (copied) FAQ head.
+    /// Returns `true` when the caller should examine the next block in the
+    /// same cycle (the head was consumed without a mode change).
+    fn resync_step(
+        &mut self,
+        prog: &Program,
+        cycle: Cycle,
+        out: &mut TickOutput,
+        head_clone: &FaqEntry,
+    ) -> bool {
+        let head_count = u64::from(head_clone.inst_count);
+        // Proxy blocks (all-level BTB miss) carry no branch info: the
+        // fetcher must not resynchronize onto them — decode keeps the
+        // control-flow authority through those regions (§III-C).
+        let proxy = head_clone.term == FaqTermination::BtbMiss;
+
+        // Pending stall covered by this block?
+        if let Some(st) = self.stall {
+            if self.dc <= self.dcc && self.dcc < self.dc + head_count {
+                if proxy {
+                    // The DCF has no idea either: Decode consults the
+                    // main predictors (TAGE/RAS/BTC/ITTAGE) and the DCF
+                    // is resteered to follow the fetcher.
+                    let (pred, extra) =
+                        self.consult_main_predictors(st.pc, st.kind, st.static_target);
+                    self.deliver_one(
+                        prog,
+                        st.pc,
+                        Some(pred),
+                        FetchMode::Coupled,
+                        cycle,
+                        out,
+                    );
+                    self.dcc += 1;
+                    let next = if pred.taken {
+                        pred.target.unwrap_or(st.pc + INST_BYTES)
+                    } else {
+                        st.pc + INST_BYTES
+                    };
+                    self.stall = None;
+                    self.stats.decode_resteers += 1;
+                    self.coupled_restart_dcf(next, cycle, extra);
+                    return false;
                 }
-                self.switch_to_decoupled(&head_clone, amend);
-                return;
+                // Real block: deliver the stalled branch with the DCF's
+                // prediction and switch to decoupled mode.
+                let off = (self.dcc - self.dc) as u8;
+                let pred = head_clone
+                    .branches
+                    .iter()
+                    .find(|b| b.offset == off)
+                    .map(|b| Prediction {
+                        taken: b.pred_taken,
+                        target: b.pred_target,
+                        source: b.source,
+                    })
+                    .unwrap_or_else(Prediction::not_taken);
+                self.record_decoupled_prefix(head_clone, off + 1);
+                self.deliver_one(prog, st.pc, Some(pred), FetchMode::Coupled, cycle, out);
+                self.record_coupled_for_pred(prog, st.pc, &pred, out);
+                self.stall = None;
+                self.switch_to_decoupled(head_clone, off + 1);
+                return false;
             }
-            // Pop test: fetcher already decoded past this whole block.
-            if self.dcc >= self.dc + head_count {
-                self.record_decoupled_prefix(&head_clone, head_clone.inst_count);
+            if self.dc + head_count <= self.dcc {
+                // Block fully covered by already-delivered instructions.
+                self.record_decoupled_prefix(head_clone, head_clone.inst_count);
                 self.dc += head_count;
                 self.faq.pop();
                 self.check_divergence(prog, cycle, out);
-                continue;
+                return true;
             }
-            return;
+            return false;
         }
+
+        // Fig. 5 switch test: will the decoupled stream cover everything
+        // fetched in coupled mode? (Never onto a proxy block.)
+        if !proxy && self.dc + head_count >= self.fcc {
+            let amend = (self.fcc - self.dc) as u8;
+            self.record_decoupled_prefix(head_clone, amend);
+            // Positions dcc..fcc are fetched but not yet decoded; their
+            // FAQ-side predictions hand off positionally (Fig. 5 cycle 2
+            // validation of in-flight coupled instructions).
+            self.leftover_preds.clear();
+            let first = (self.dcc.max(self.dc) - self.dc) as u8;
+            for off in first..amend {
+                let p = head_clone.branches.iter().find(|b| b.offset == off).map(|b| {
+                    Prediction {
+                        taken: b.pred_taken,
+                        target: b.pred_target,
+                        source: b.source,
+                    }
+                });
+                self.leftover_preds.push_back(p);
+            }
+            self.switch_to_decoupled(head_clone, amend);
+            return false;
+        }
+        // Pop test: fetcher already decoded past this whole block.
+        if self.dcc >= self.dc + head_count {
+            self.record_decoupled_prefix(head_clone, head_clone.inst_count);
+            self.dc += head_count;
+            self.faq.pop();
+            self.check_divergence(prog, cycle, out);
+            return true;
+        }
+        false
     }
 
     /// Restarts the DCF to follow the coupled fetcher (proxy-phase decode
@@ -673,7 +757,7 @@ impl Frontend {
     /// `next_pc` with coupled fetching continuing.
     fn coupled_restart_dcf(&mut self, next_pc: Addr, cycle: Cycle, extra_bubbles: u32) {
         self.faq.flush();
-        self.groups.clear();
+        self.clear_groups();
         self.dcf_pc = next_pc;
         self.dcf_busy = cycle + 1 + u64::from(extra_bubbles);
         self.coupled_pc = next_pc;
@@ -761,7 +845,7 @@ impl Frontend {
                     target: dcf_taken.then_some(resume),
                 });
                 out.delivered.retain(|d| d.fid <= fid);
-                self.groups.clear();
+                self.clear_groups();
                 self.faq.flush();
                 self.stall = None;
                 self.div.reset();
@@ -797,30 +881,36 @@ impl Frontend {
     }
 
     fn fetch_decoupled(&mut self, mem: &mut MemorySystem, cycle: Cycle) {
-        let Some(head) = self.faq.head(cycle).cloned() else { return };
-        let start_off = self.faq.head_consumed();
-        let avail = head.inst_count - start_off;
-        let take = (self.cfg.fetch_width as u8).min(avail);
-        let first_pc = seq_pc(head.start_pc, start_off as usize);
-        let proxy = head.term == FaqTermination::BtbMiss;
-        let term_taken = head.term.is_taken();
-
-        let mut insts: Vec<GroupInst> = Vec::with_capacity(self.cfg.fetch_width);
-        for i in 0..take {
-            let off = start_off + i;
-            let pc = seq_pc(head.start_pc, off as usize);
-            let fb = head.branches.iter().find(|b| b.offset == off);
-            insts.push(GroupInst {
-                pc,
-                pred: fb.map(|b| Prediction {
-                    taken: b.pred_taken,
-                    target: b.pred_target,
-                    source: b.source,
-                }),
-                proxy,
-                hist: fb.map(|b| b.hist),
-            });
-        }
+        // The head is read in place (no clone): the instruction buffer is a
+        // pooled local, so building it only borrows `self.faq` immutably.
+        let mut insts: Vec<GroupInst> = self.group_pool.pop().unwrap_or_default();
+        let (take, first_pc, term_taken) = {
+            let Some(head) = self.faq.head(cycle) else {
+                self.group_pool.push(insts);
+                return;
+            };
+            let start_off = self.faq.head_consumed();
+            let avail = head.inst_count - start_off;
+            let take = (self.cfg.fetch_width as u8).min(avail);
+            let first_pc = seq_pc(head.start_pc, start_off as usize);
+            let proxy = head.term == FaqTermination::BtbMiss;
+            for i in 0..take {
+                let off = start_off + i;
+                let pc = seq_pc(head.start_pc, off as usize);
+                let fb = head.branches.iter().find(|b| b.offset == off);
+                insts.push(GroupInst {
+                    pc,
+                    pred: fb.map(|b| Prediction {
+                        taken: b.pred_taken,
+                        target: b.pred_target,
+                        source: b.source,
+                    }),
+                    proxy,
+                    hist: fb.map(|b| b.hist),
+                });
+            }
+            (take, first_pc, head.term.is_taken())
+        };
         let popped = self.faq.consume(take);
 
         // Latency: the L0I access(es) for the line(s) the group touches.
@@ -833,12 +923,13 @@ impl Frontend {
         // Fetch across a taken branch in the same cycle when the target
         // maps to the other L0I interleave and its block is ready (§VI-A).
         if popped && term_taken && (take as usize) < self.cfg.fetch_width {
-            if let Some(next) = self.faq.head(cycle).cloned() {
+            let mut extra = 0u8;
+            if let Some(next) = self.faq.head(cycle) {
                 if self.faq.head_consumed() == 0
                     && mem.l0i_interleave(next.start_pc) != mem.l0i_interleave(last_pc)
                     && mem.l0i_has(next.start_pc)
                 {
-                    let extra =
+                    extra =
                         (self.cfg.fetch_width - take as usize).min(next.inst_count as usize) as u8;
                     for i in 0..extra {
                         let pc = seq_pc(next.start_pc, i as usize);
@@ -854,9 +945,11 @@ impl Frontend {
                             hist: fb.map(|b| b.hist),
                         });
                     }
-                    self.faq.consume(extra);
-                    self.stats.interleaved_taken_fetches += 1;
                 }
+            }
+            if extra > 0 {
+                self.faq.consume(extra);
+                self.stats.interleaved_taken_fetches += 1;
             }
         }
 
@@ -874,7 +967,7 @@ impl Frontend {
         }
         let width = self.cfg.fetch_width;
         let first_pc = self.coupled_pc;
-        let mut insts = Vec::with_capacity(width);
+        let mut insts = self.take_insts();
         for i in 0..width {
             insts.push(GroupInst { pc: seq_pc(first_pc, i), pred: None, proxy: true, hist: None });
         }
@@ -897,7 +990,7 @@ impl Frontend {
         }
         let width = self.cfg.fetch_width;
         let first_pc = self.coupled_pc;
-        let mut insts = Vec::with_capacity(width);
+        let mut insts = self.take_insts();
         for i in 0..width {
             insts.push(GroupInst { pc: seq_pc(first_pc, i), pred: None, proxy: true, hist: None });
         }
@@ -928,6 +1021,7 @@ impl Frontend {
             (_, FetchMode::Decoupled) => self.decode_decoupled(prog, &group, cycle, out),
             (_, FetchMode::Coupled) => self.decode_coupled(prog, &group, cycle, out),
         }
+        self.recycle_insts(group.insts);
     }
 
     /// NoDCF: predictions are attributed in parallel with Decode; every
@@ -1051,7 +1145,9 @@ impl Frontend {
                     // groups — are sequential overshoot past a taken branch.
                     while matches!(self.groups.front(), Some(g) if g.mode == FetchMode::Coupled)
                     {
-                        self.groups.pop_front();
+                        // invariant: `matches!` above proved a front exists.
+                        let g = self.groups.pop_front().expect("checked above");
+                        self.recycle_insts(g.insts);
                     }
                     self.leftover_preds.clear();
                     return;
@@ -1071,7 +1167,7 @@ impl Frontend {
                         static_target: sinst.target,
                     });
                     self.stats.coupled_stalls += 1;
-                    self.groups.clear();
+                    self.clear_groups();
                     self.fcc = self.dcc;
                     self.coupled_pc = gi.pc; // refetch target decided later
                     return;
@@ -1084,7 +1180,7 @@ impl Frontend {
                     if pred.taken {
                         if let Some(t) = pred.target {
                             // Resteer coupled fetch; discard overshoot.
-                            self.groups.clear();
+                            self.clear_groups();
                             self.fcc = self.dcc;
                             self.coupled_pc = t;
                             self.fe_busy = self.fe_busy.max(cycle + 1);
@@ -1327,7 +1423,7 @@ impl Frontend {
     }
 
     fn resteer_fetch_nodcf(&mut self, target: Addr, cycle: Cycle, extra_bubbles: u32) {
-        self.groups.clear();
+        self.clear_groups();
         self.coupled_pc = target;
         self.fe_busy = self.fe_busy.max(cycle + 1 + u64::from(extra_bubbles));
     }
@@ -1336,7 +1432,7 @@ impl Frontend {
     /// pays the full Decode→BP1 loop; ELF short-circuits it by entering
     /// coupled mode (§IV-A).
     fn resteer_frontend_decode(&mut self, target: Addr, cycle: Cycle, extra_bubbles: u32) {
-        self.groups.clear();
+        self.clear_groups();
         self.faq.flush();
         self.dcf_pc = target;
         self.dcf_busy = cycle + 1 + u64::from(extra_bubbles);
@@ -1375,7 +1471,8 @@ impl Frontend {
     /// queued fetch addresses oldest-to-youngest and prefetch lines not yet
     /// resident (the memory system enforces the 4-in-flight limit).
     fn issue_prefetches(&mut self, mem: &mut MemorySystem, cycle: Cycle) {
-        let mut candidates: Vec<Addr> = Vec::new();
+        let mut candidates = std::mem::take(&mut self.prefetch_scratch);
+        debug_assert!(candidates.is_empty());
         for e in self.faq.iter().skip(1).take(8) {
             let line = e.start_pc & !63;
             if !mem.l0i_has(line) {
@@ -1386,9 +1483,93 @@ impl Frontend {
                 }
             }
         }
-        for a in candidates {
+        for a in candidates.drain(..) {
             if mem.prefetch_inst(a, cycle) {
                 self.stats.faq_prefetches += 1;
+            }
+        }
+        self.prefetch_scratch = candidates;
+    }
+
+    // ------------------------------------------------------------------
+    // Idle-cycle analysis
+    // ------------------------------------------------------------------
+
+    /// Conservatively proves that ticks strictly before the returned cycle
+    /// would be pure no-ops (per-cycle statistics aside) and returns the
+    /// earliest cycle at which the front-end *may* act. `None` means a tick
+    /// at `now` may already act. Used by the simulator's idle-cycle
+    /// skipping: claiming a too-early wake-up merely shortens a skip;
+    /// claiming idleness wrongly would desynchronize statistics, so every
+    /// uncertain case answers `None`.
+    #[must_use]
+    pub fn quiescent_until(&self, now: Cycle) -> Option<Cycle> {
+        let mut until = Cycle::MAX;
+
+        // Decode: a queued group wakes us the cycle it becomes ready.
+        match self.groups.front() {
+            Some(g) if g.ready_at <= now => return None,
+            Some(g) => until = until.min(g.ready_at),
+            None => {}
+        }
+
+        match self.arch {
+            FetchArch::NoDcf => {
+                // Fetch probes the I-cache whenever the engine is free and
+                // a group slot is open.
+                if self.groups.len() < self.cfg.max_inflight_groups {
+                    if self.fe_busy <= now {
+                        return None;
+                    }
+                    until = until.min(self.fe_busy);
+                }
+            }
+            FetchArch::Dcf | FetchArch::Elf(_) => {
+                // Anything queued in the FAQ feeds fetch, resynchronization
+                // and prefetch probes — too intertwined to prove idle.
+                if !self.faq.is_empty() {
+                    return None;
+                }
+                // The ELF divergence comparison must be a structural no-op.
+                if matches!(self.arch, FetchArch::Elf(_)) && !self.div.compare_is_noop() {
+                    return None;
+                }
+                // The DCF emits a block the moment it is free (the FAQ is
+                // empty, so there is always room).
+                if self.dcf_busy <= now {
+                    return None;
+                }
+                until = until.min(self.dcf_busy);
+                // Coupled fetch touches the I-cache whenever the engine is
+                // free, no stall is pending, and there is room.
+                if self.mode == FetchMode::Coupled
+                    && self.stall.is_none()
+                    && self.groups.len() < self.cfg.max_inflight_groups
+                    && (!matches!(self.arch, FetchArch::Elf(_)) || self.div.coupled_has_room())
+                {
+                    if self.fe_busy <= now {
+                        return None;
+                    }
+                    until = until.min(self.fe_busy);
+                }
+                // Decoupled fetch on an empty FAQ is a pure no-op; no
+                // wake-up candidate needed for it.
+            }
+        }
+        (until > now).then_some(until)
+    }
+
+    /// Applies the per-cycle bookkeeping of `n` consecutive no-op ticks in
+    /// bulk. Must mirror the unconditional preamble of
+    /// [`Frontend::tick_into`] exactly, or skipped and stepped runs would
+    /// report different statistics.
+    pub fn charge_idle_cycles(&mut self, n: u64) {
+        self.stats.cycles += n;
+        self.faq.sample_occupancy_n(n);
+        if self.arch.has_dcf() {
+            match self.mode {
+                FetchMode::Coupled => self.stats.coupled_cycles += n,
+                FetchMode::Decoupled => self.stats.decoupled_cycles += n,
             }
         }
     }
@@ -1402,7 +1583,7 @@ impl Frontend {
     pub fn flush(&mut self, ctx: &FlushCtx<'_>, cycle: Cycle) {
         self.stats.backend_resteers += 1;
         self.pending_resteer_cycle = Some(cycle);
-        self.groups.clear();
+        self.clear_groups();
         self.faq.flush();
         self.stall = None;
         self.div.reset();
@@ -1417,9 +1598,10 @@ impl Frontend {
         }
         self.snapshots.retain(|&fid, _| fid <= ctx.boundary_fid);
 
-        // RAS repair: architectural stack plus in-flight replay.
-        self.ras = self.retire_ras.clone();
-        self.cpl_ras = self.retire_ras.clone();
+        // RAS repair: architectural stack plus in-flight replay. In-place
+        // copies — flushes are frequent and the deep clones showed up hot.
+        self.ras.clone_from(&self.retire_ras);
+        self.cpl_ras.clone_from(&self.retire_ras);
         for op in ctx.ras_replay {
             match *op {
                 RasOp::Push(ra) => {
@@ -1617,7 +1799,7 @@ impl Frontend {
         self.faq.load_state(r)?;
         self.fe_busy = Snap::load(r)?;
         let ngroups = r.count("fetch group count")?;
-        self.groups.clear();
+        self.clear_groups();
         for _ in 0..ngroups {
             let ninsts = r.count("fetch group size")?;
             let mut insts = Vec::with_capacity(ninsts);

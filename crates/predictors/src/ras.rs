@@ -9,13 +9,28 @@
 use elf_types::Addr;
 
 /// A circular return address stack.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct Ras {
     slots: Vec<Addr>,
     /// Monotonic top-of-stack counter; `tos % capacity` is the write slot.
     tos: u64,
     /// Number of live entries (<= capacity tracks underflow).
     live: u64,
+}
+
+impl Clone for Ras {
+    fn clone(&self) -> Self {
+        Ras { slots: self.slots.clone(), tos: self.tos, live: self.live }
+    }
+
+    /// In-place copy reusing `self`'s slot allocation — flush-path RAS
+    /// repair restores the architectural stack every squash, so this runs
+    /// hot and must not reallocate.
+    fn clone_from(&mut self, source: &Self) {
+        self.slots.clone_from(&source.slots);
+        self.tos = source.tos;
+        self.live = source.live;
+    }
 }
 
 impl Ras {

@@ -125,6 +125,31 @@ pub struct FaqEntry {
 }
 
 impl FaqEntry {
+    /// An inert zero entry for scratch buffers that are overwritten via
+    /// [`FaqEntry::copy_from`] before every use.
+    #[must_use]
+    pub fn placeholder() -> FaqEntry {
+        FaqEntry {
+            start_pc: 0,
+            inst_count: 0,
+            term: FaqTermination::BtbMiss,
+            next_pc: 0,
+            branches: Vec::new(),
+            enqueue_cycle: 0,
+        }
+    }
+
+    /// In-place copy that reuses `self`'s branch-vector allocation (the
+    /// hot-loop alternative to `clone`).
+    pub fn copy_from(&mut self, src: &FaqEntry) {
+        self.start_pc = src.start_pc;
+        self.inst_count = src.inst_count;
+        self.term = src.term;
+        self.next_pc = src.next_pc;
+        self.branches.clone_from(&src.branches);
+        self.enqueue_cycle = src.enqueue_cycle;
+    }
+
     /// Address one past the last instruction of the block.
     #[must_use]
     pub fn end_pc(&self) -> Addr {

@@ -1,0 +1,144 @@
+//! A vendored FxHash-style hasher for hot-path maps.
+//!
+//! The simulation kernel keys several per-cycle maps (wakeup lists, branch
+//! history snapshots) by dense `u64` ids. `std`'s default SipHash is
+//! DoS-resistant but costs ~10x more per lookup than needed for trusted,
+//! non-adversarial keys. This is the well-known Firefox "Fx" construction:
+//! one `rotate ^ xor` + multiply per word, no allocation, no external
+//! dependency (the workspace builds offline, so the `rustc-hash` crate is
+//! vendored as this module rather than pulled from a registry).
+//!
+//! Determinism note: iteration order of an `FxHashMap` is still
+//! unspecified, exactly like the default hasher. Anything serialized
+//! (snapshots) or reported (stats) must keep sorting by key — the
+//! [`crate::snap`] `HashMap` impl does.
+
+use std::hash::{BuildHasher, Hasher};
+
+/// Multiplicative constant from the FxHash construction (a 64-bit
+/// truncation of pi's digits, chosen for bit dispersion).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One-word-at-a-time multiplicative hasher; see module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_word(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add_word(v as u64);
+        self.add_word((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s; `Default` so it slots into
+/// `HashMap::default()` and the generic snapshot impls.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// A `HashMap` using the fast non-cryptographic [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_hashes_identically() {
+        let b = FxBuildHasher;
+        for k in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(b.hash_one(k), b.hash_one(k));
+        }
+    }
+
+    #[test]
+    fn distinct_keys_disperse() {
+        let b = FxBuildHasher;
+        let hashes: std::collections::BTreeSet<u64> =
+            (0u64..1000).map(|k| b.hash_one(k)).collect();
+        assert_eq!(hashes.len(), 1000, "dense keys must not collide on the full hash");
+    }
+
+    #[test]
+    fn map_roundtrips_inserts() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for k in 0..100u64 {
+            m.insert(k, k * 3);
+        }
+        assert_eq!(m.len(), 100);
+        assert!((0..100u64).all(|k| m.get(&k) == Some(&(k * 3))));
+    }
+
+    #[test]
+    fn byte_stream_equals_word_writes_for_aligned_input() {
+        // `write` consumes 8-byte little-endian words exactly like
+        // `write_u64`, so hashing via either path agrees.
+        let mut a = FxHasher::default();
+        a.write(&0x0123_4567_89ab_cdefu64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(0x0123_4567_89ab_cdef);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

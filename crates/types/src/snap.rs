@@ -422,7 +422,12 @@ impl<T: Snap + Copy + Default, const N: usize> Snap for [T; N] {
 /// `HashMap` serialization: entries are written sorted by key so the same
 /// logical state always produces the same bytes (snapshot equality checks
 /// and content hashing stay meaningful).
-impl<K: Snap + Ord + std::hash::Hash + Eq + Clone, V: Snap + Clone> Snap for HashMap<K, V> {
+impl<K, V, S> Snap for HashMap<K, V, S>
+where
+    K: Snap + Ord + std::hash::Hash + Eq + Clone,
+    V: Snap + Clone,
+    S: std::hash::BuildHasher + Default,
+{
     fn save(&self, w: &mut SnapWriter) {
         let mut entries: Vec<(&K, &V)> = self.iter().collect();
         entries.sort_by(|a, b| a.0.cmp(b.0));
@@ -434,7 +439,7 @@ impl<K: Snap + Ord + std::hash::Hash + Eq + Clone, V: Snap + Clone> Snap for Has
     }
     fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
         let n = r.count("map length")?;
-        let mut out = HashMap::with_capacity(n);
+        let mut out = HashMap::with_capacity_and_hasher(n, S::default());
         for _ in 0..n {
             let k = K::load(r)?;
             let v = V::load(r)?;

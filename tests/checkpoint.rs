@@ -140,6 +140,48 @@ fn chunked_runs_with_periodic_checkpoints_match_one_shot() {
     assert_eq!(want, last.unwrap(), "chunked+checkpointed run diverged");
 }
 
+#[test]
+fn restore_inside_a_skipped_idle_region_is_bit_identical() {
+    // Idle-cycle skipping advances time in bulk; a checkpoint can land at
+    // a retirement boundary where the machine has gone quiet and the very
+    // next act of the continuation is a bulk skip. Probe split points
+    // until we find one whose restored continuation starts by skipping,
+    // then require the full second leg to match the straight-through run.
+    let w = workloads::by_name("641.leela").expect("workload exists");
+    let mut found = None;
+    'search: for arch in ARCHS {
+        let cfg = SimConfig::baseline(arch);
+        let mut head = Simulator::try_for_workload(cfg, &w).expect("valid config");
+        for milestone in (500..=12_000u64).step_by(500) {
+            head.run(milestone - head.retired()).expect("probe leg");
+            let snap = head.checkpoint();
+            let mut probe = snap.restore().expect("snapshot restores");
+            let at_restore = probe.skipped_cycles();
+            assert_eq!(at_restore, head.skipped_cycles(), "skip counter lost in the snapshot");
+            probe.run(1).expect("probe continuation");
+            if probe.skipped_cycles() > at_restore {
+                found = Some((arch, head.retired()));
+                break 'search;
+            }
+        }
+    }
+    let (arch, first) =
+        found.expect("no probed split point landed on an idle span; widen the search");
+
+    let cfg = SimConfig::baseline(arch);
+    let (straight, resumed) = split_vs_straight(cfg, "641.leela", first, 5_000);
+    assert_eq!(
+        straight.0, resumed.0,
+        "stats diverged across an idle-region checkpoint ({})",
+        arch.label()
+    );
+    assert_eq!(
+        straight.1, resumed.1,
+        "recorder tail diverged across an idle-region checkpoint ({})",
+        arch.label()
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 

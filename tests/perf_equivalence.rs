@@ -1,0 +1,127 @@
+//! Idle-cycle skipping must be a pure performance optimization: a run with
+//! `SimConfig::idle_skip` enabled must produce **bit-identical** `SimStats`
+//! to the reference cycle-by-cycle walk — for every fetch architecture,
+//! with and without an active fault plan, across warm-up resets, and with
+//! the occupancy histograms included.
+//!
+//! `SimStats` derives `PartialEq`, so a single equality assert covers every
+//! counter: cycles, retirements, branch/misprediction counts, the full
+//! front-end/back-end/memory statistic blocks and the FAQ mean occupancy.
+
+use elf_sim::core::{FaultPlan, SimConfig, SimStats, Simulator};
+use elf_sim::frontend::{ElfVariant, FetchArch};
+use elf_sim::trace::workloads;
+
+const ARCHS: [FetchArch; 7] = [
+    FetchArch::NoDcf,
+    FetchArch::Dcf,
+    FetchArch::Elf(ElfVariant::L),
+    FetchArch::Elf(ElfVariant::Ret),
+    FetchArch::Elf(ElfVariant::Ind),
+    FetchArch::Elf(ElfVariant::Cond),
+    FetchArch::Elf(ElfVariant::U),
+];
+
+/// Runs `warmup` + `window` instructions twice — once stepping every cycle
+/// (`idle_skip = false`), once skipping — and returns both stat blocks
+/// plus the histograms and the skipping run's bulk-advanced cycle count.
+fn both_runs(
+    mut cfg: SimConfig,
+    workload: &str,
+    warmup: u64,
+    window: u64,
+) -> ((SimStats, String), (SimStats, String), u64) {
+    let w = workloads::by_name(workload).expect("workload exists");
+
+    cfg.idle_skip = false;
+    let mut reference = Simulator::try_for_workload(cfg.clone(), &w).expect("valid config");
+    reference.warm_up(warmup).expect("reference warm-up");
+    let ref_stats = reference.run(window).expect("reference window");
+    let ref_hist = format!(
+        "rob: n={} mean={:.6} p50={} | del: n={} mean={:.6} p100={}",
+        reference.rob_occupancy().count(),
+        reference.rob_occupancy().mean(),
+        reference.rob_occupancy().quantile(0.5),
+        reference.delivery_rate().count(),
+        reference.delivery_rate().mean(),
+        reference.delivery_rate().quantile(1.0),
+    );
+    assert_eq!(reference.skipped_cycles(), 0, "reference run must never skip");
+
+    cfg.idle_skip = true;
+    let mut skipping = Simulator::try_for_workload(cfg, &w).expect("valid config");
+    skipping.warm_up(warmup).expect("skipping warm-up");
+    let skip_stats = skipping.run(window).expect("skipping window");
+    let skip_hist = format!(
+        "rob: n={} mean={:.6} p50={} | del: n={} mean={:.6} p100={}",
+        skipping.rob_occupancy().count(),
+        skipping.rob_occupancy().mean(),
+        skipping.rob_occupancy().quantile(0.5),
+        skipping.delivery_rate().count(),
+        skipping.delivery_rate().mean(),
+        skipping.delivery_rate().quantile(1.0),
+    );
+
+    ((ref_stats, ref_hist), (skip_stats, skip_hist), skipping.skipped_cycles())
+}
+
+#[test]
+fn stats_identical_across_all_architectures() {
+    let mut total_skipped = 0;
+    for arch in ARCHS {
+        let ((ref_stats, ref_hist), (skip_stats, skip_hist), skipped) =
+            both_runs(SimConfig::baseline(arch), "641.leela", 3_000, 8_000);
+        assert_eq!(ref_stats, skip_stats, "{arch:?}: stats diverged");
+        assert_eq!(ref_hist, skip_hist, "{arch:?}: histograms diverged");
+        total_skipped += skipped;
+    }
+    // The optimization must actually engage somewhere, or this test only
+    // proves that a disabled feature equals itself.
+    assert!(total_skipped > 0, "idle skipping never fired across any architecture");
+}
+
+#[test]
+fn stats_identical_under_fault_injection() {
+    for arch in [FetchArch::NoDcf, FetchArch::Dcf, FetchArch::Elf(ElfVariant::U)] {
+        let mut cfg = SimConfig::baseline(arch);
+        cfg.fault = Some(FaultPlan::uniform(60, 11));
+        let ((ref_stats, ref_hist), (skip_stats, skip_hist), _) =
+            both_runs(cfg, "641.leela", 2_000, 6_000);
+        assert_eq!(ref_stats, skip_stats, "{arch:?} (faults): stats diverged");
+        assert_eq!(ref_hist, skip_hist, "{arch:?} (faults): histograms diverged");
+    }
+}
+
+#[test]
+fn stats_identical_on_a_cache_hostile_workload() {
+    // The server-style workloads stress I-cache misses — the main source
+    // of skippable front-end idle spans.
+    for arch in [FetchArch::Dcf, FetchArch::Elf(ElfVariant::U)] {
+        let name = workloads::all()
+            .into_iter()
+            .map(|w| w.name)
+            .find(|&n| n != "641.leela")
+            .expect("registry has several workloads");
+        let ((ref_stats, _), (skip_stats, _), _) =
+            both_runs(SimConfig::baseline(arch), name, 2_000, 6_000);
+        assert_eq!(ref_stats, skip_stats, "{arch:?} on {name}: stats diverged");
+    }
+}
+
+#[test]
+fn skipping_runs_report_identical_wedges() {
+    // A wedged run (cap exhausted) must report at the same cycle whether
+    // the no-op cycles were stepped or skipped.
+    let wedge_cycle = |idle_skip: bool| {
+        let mut cfg = SimConfig::baseline(FetchArch::Dcf);
+        cfg.progress_cap_base = 600;
+        cfg.progress_cap_per_inst = 0;
+        cfg.idle_skip = idle_skip;
+        let w = workloads::by_name("641.leela").expect("workload exists");
+        let mut sim = Simulator::try_for_workload(cfg, &w).expect("valid config");
+        let err = sim.run(1_000_000).expect_err("cap must trip");
+        let report = err.report().expect("wedge carries a report");
+        (report.cycle, report.retired)
+    };
+    assert_eq!(wedge_cycle(false), wedge_cycle(true));
+}
