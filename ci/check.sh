@@ -1,30 +1,69 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build, test, lint. Run from the repository root.
+# Tier-1 gate: build, test, lint, docs, smokes. Run from the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# One scratch directory for every smoke artifact, reaped on any exit path
+# (success, failure, or signal) — no leaked mktemp directories.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+cargo fmt --all --check
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 # Idle-cycle skipping must stay a pure optimization: re-prove bit-identical
 # SimStats against the cycle-by-cycle reference walk in release mode (the
 # configuration benches and users actually run).
 cargo test -q --release --test perf_equivalence
 
+# Every example must build and run clean — they double as API documentation,
+# so a bit-rotted example is a broken doc.
+cargo build --release --examples
+for ex in elf_variants frontend_trace quickstart workload_explorer; do
+    ./target/release/examples/"$ex" >/dev/null
+done
+
 # Smoke: a checkpointed run must resume from its snapshot (end-to-end
 # through the CLI; bit-identity is pinned by tests/checkpoint.rs).
-ckpt="$(mktemp -d)/smoke.ckpt"
+ckpt="$tmp/smoke.ckpt"
 ./target/release/elfsim 641.leela u-elf --warmup 5000 --window 20000 \
     --checkpoint-every 8000 --checkpoint-file "$ckpt" >/dev/null
 ./target/release/elfsim --resume "$ckpt" --window 30000 >/dev/null
-rm -f "$ckpt"
+
+# Smoke: the cycle-attribution report must be schema-valid JSON whose
+# fetch-cause buckets and mode slots each sum *exactly* to the cycle count
+# (the partition invariant, end-to-end through the CLI; per-arch coverage
+# is pinned by tests/metrics.rs).
+mjson="$tmp/metrics.json"
+./target/release/elfsim 641.leela u-elf --warmup 5000 --window 20000 \
+    --metrics-json "$mjson" >/dev/null
+if command -v jq >/dev/null; then
+    jq -e '.schema == "elfsim-metrics-v1"
+           and (.runs | length) == 1
+           and all(.runs[];
+                   ([.fetch_cycles[]] | add) == .cycles
+                   and ([.mode_cycles[]] | add) == .cycles)' \
+        "$mjson" >/dev/null
+else
+    python3 - "$mjson" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["schema"] == "elfsim-metrics-v1", r["schema"]
+assert len(r["runs"]) == 1, r["runs"]
+for run in r["runs"]:
+    assert sum(run["fetch_cycles"].values()) == run["cycles"], run["arch"]
+    assert sum(run["mode_cycles"].values()) == run["cycles"], run["arch"]
+EOF
+fi
 
 # Smoke: the kernel-throughput report must be schema-valid JSON with a
 # positive MIPS for every architecture, and must not regress more than 30%
 # below the tracked BENCH_elfsim.json baseline (the 30% headroom makes this
 # a machine-noise-tolerant sanity gate, not a precision benchmark).
-bench="$(mktemp -d)/bench.json"
+bench="$tmp/bench.json"
 ./target/release/elfsim --bench-json "$bench" \
     --bench-baseline BENCH_elfsim.json >/dev/null
 if command -v jq >/dev/null; then
@@ -41,4 +80,3 @@ assert len(r["results"]) == 7, r["results"]
 assert all(x["mips"] > 0 and x["cycles_per_sec"] > 0 for x in r["results"])
 EOF
 fi
-rm -f "$bench"

@@ -10,7 +10,10 @@ use elf_trace::workloads;
 
 fn main() {
     let p = params(150_000, 200_000);
-    banner("Ablations — FAQ depth, L0 BTB size, saturation filter, I-prefetch", p);
+    banner(
+        "Ablations — FAQ depth, L0 BTB size, saturation filter, I-prefetch",
+        p,
+    );
     let mut rows = Vec::new();
 
     // 1. FAQ depth on the prefetch-hungry server workload (DCF).
@@ -62,7 +65,10 @@ fn main() {
                 r1(r.stats.branch_mpki()),
                 r.stats.frontend.cpl_bimodal_preds
             );
-            rows.push(format!("satfilter,{name}-{sat},{:.4}", r.ipc() / base.ipc()));
+            rows.push(format!(
+                "satfilter,{name}-{sat},{:.4}",
+                r.ipc() / base.ipc()
+            ));
         }
     }
 
@@ -103,7 +109,10 @@ fn main() {
                 r3(r.ipc() / base.ipc()),
                 r1(r.stats.branch_mpki())
             );
-            rows.push(format!("cplcond,{name}-{label},{:.4}", r.ipc() / base.ipc()));
+            rows.push(format!(
+                "cplcond,{name}-{label},{:.4}",
+                r.ipc() / base.ipc()
+            ));
         }
     }
 

@@ -94,7 +94,11 @@ fn bench_mem(c: &mut Criterion) {
 }
 
 fn bench_oracle(c: &mut Criterion) {
-    let spec = ProgramSpec { name: "bench".into(), seed: 3, ..ProgramSpec::default() };
+    let spec = ProgramSpec {
+        name: "bench".into(),
+        seed: 3,
+        ..ProgramSpec::default()
+    };
     let prog = Arc::new(synthesize(&spec));
     let mut oracle = Oracle::new(prog, 3);
     let mut seq = 0u64;
@@ -112,7 +116,11 @@ fn bench_simulator(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulator");
     g.sample_size(10);
     for arch in [FetchArch::Dcf, FetchArch::Elf(elf_frontend::ElfVariant::U)] {
-        let spec = ProgramSpec { name: "bench".into(), seed: 3, ..ProgramSpec::default() };
+        let spec = ProgramSpec {
+            name: "bench".into(),
+            seed: 3,
+            ..ProgramSpec::default()
+        };
         g.throughput(Throughput::Elements(10_000));
         g.bench_function(format!("run_10k_insts/{}", arch.label()), |b| {
             let mut sim = Simulator::new(SimConfig::baseline(arch), &spec);

@@ -8,7 +8,10 @@ use elf_trace::workloads::ELF_FOCUS_SET;
 
 fn main() {
     let p = params(200_000, 300_000);
-    banner("Figure 6 — NoDCF IPC relative to DCF (slowdown axis) + branch MPKI", p);
+    banner(
+        "Figure 6 — NoDCF IPC relative to DCF (slowdown axis) + branch MPKI",
+        p,
+    );
 
     println!(
         "{:>18} {:>10} {:>12} {:>12} {:>10}",

@@ -8,9 +8,17 @@ use elf_trace::workloads::ELF_FOCUS_SET;
 
 fn main() {
     let p = params(200_000, 300_000);
-    banner("Figure 7 — L/RET/IND/COND-ELF IPC relative to DCF + branch MPKI", p);
+    banner(
+        "Figure 7 — L/RET/IND/COND-ELF IPC relative to DCF + branch MPKI",
+        p,
+    );
 
-    let variants = [ElfVariant::L, ElfVariant::Ret, ElfVariant::Ind, ElfVariant::Cond];
+    let variants = [
+        ElfVariant::L,
+        ElfVariant::Ret,
+        ElfVariant::Ind,
+        ElfVariant::Cond,
+    ];
     println!(
         "{:>18} {:>8} {:>8} {:>8} {:>8} {:>9} {:>7}",
         "workload", "L-ELF", "RET-ELF", "IND-ELF", "COND-ELF", "DCF IPC", "MPKI"
@@ -40,7 +48,11 @@ fn main() {
         );
         rows.push(format!(
             "{name},{:.4},{:.4},{:.4},{:.4},{:.2}",
-            rel[0], rel[1], rel[2], rel[3], dcf.stats.branch_mpki()
+            rel[0],
+            rel[1],
+            rel[2],
+            rel[3],
+            dcf.stats.branch_mpki()
         ));
         if *name == "620.omnetpp" {
             notes.push(format!(

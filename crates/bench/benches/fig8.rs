@@ -7,7 +7,10 @@ use elf_trace::workloads::ELF_FOCUS_SET;
 
 fn main() {
     let p = params(200_000, 300_000);
-    banner("Figure 8 — L-ELF and U-ELF IPC relative to DCF + avg coupled insts", p);
+    banner(
+        "Figure 8 — L-ELF and U-ELF IPC relative to DCF + avg coupled insts",
+        p,
+    );
 
     println!(
         "{:>18} {:>8} {:>8} {:>14} {:>14}",
@@ -45,5 +48,9 @@ fn main() {
          more coupled instructions mean more DCF-restart latency hidden \
          (paper §VI-C)."
     );
-    write_csv("fig8.csv", "workload,l_elf,u_elf,l_avg_cpl,u_avg_cpl", &rows);
+    write_csv(
+        "fig8.csv",
+        "workload,l_elf,u_elf,l_avg_cpl,u_avg_cpl",
+        &rows,
+    );
 }

@@ -10,7 +10,10 @@ fn main() {
     // The full Table I grid is 53 workloads x 4 architectures: use a
     // smaller default window than the per-figure benches.
     let p = params(120_000, 180_000);
-    banner("Figure 9 — geomean IPC of NoDCF / L-ELF / U-ELF relative to DCF, by suite", p);
+    banner(
+        "Figure 9 — geomean IPC of NoDCF / L-ELF / U-ELF relative to DCF, by suite",
+        p,
+    );
 
     let archs = [
         FetchArch::NoDcf,
@@ -27,7 +30,8 @@ fn main() {
         let members = workloads::suite_members(suite);
         let mut per_arch: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
         for w in &members {
-            let base = run_one(w, FetchArch::Dcf, p.warmup, p.window).expect("baseline run completes");
+            let base =
+                run_one(w, FetchArch::Dcf, p.warmup, p.window).expect("baseline run completes");
             for (i, arch) in archs.iter().enumerate() {
                 let r = run_one(w, *arch, p.warmup, p.window).expect("run completes");
                 per_arch[i].push(r.ipc() / base.ipc());
@@ -42,7 +46,13 @@ fn main() {
             r3(g[2]),
             members.len()
         );
-        rows.push(format!("{},{:.4},{:.4},{:.4}", suite.label(), g[0], g[1], g[2]));
+        rows.push(format!(
+            "{},{:.4},{:.4},{:.4}",
+            suite.label(),
+            g[0],
+            g[1],
+            g[2]
+        ));
         for i in 0..3 {
             all[i].extend(&per_arch[i]);
         }

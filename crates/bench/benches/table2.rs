@@ -9,7 +9,10 @@ use elf_predictors::{Bimodal, BranchTargetCache, Ittage, Ras, Tage};
 
 fn main() {
     let p = elf_bench::params(0, 0);
-    banner("Table II — baseline pipeline configuration (live objects)", p);
+    banner(
+        "Table II — baseline pipeline configuration (live objects)",
+        p,
+    );
     let c = SimConfig::baseline(FetchArch::Dcf);
 
     println!("Branch Target Buffer");
@@ -48,8 +51,10 @@ fn main() {
         ras.storage_bits() as f64 / 8192.0,
     );
 
-    println!("FAQ: {}-entry FIFO; BP1→FE latency {} cycles (BP1, BP2, FAQ)",
-        c.frontend.faq_entries, c.frontend.bp_to_faq_delay);
+    println!(
+        "FAQ: {}-entry FIFO; BP1→FE latency {} cycles (BP1, BP2, FAQ)",
+        c.frontend.faq_entries, c.frontend.bp_to_faq_delay
+    );
     println!(
         "Instruction prefetch: FAQ-driven on L0I idle cycles, {} in flight",
         c.mem.ipf_max_inflight
@@ -66,7 +71,10 @@ fn main() {
             cc.latency
         );
     }
-    println!("  DRAM: {} cycles; stride-based data prefetch", c.mem.dram_latency);
+    println!(
+        "  DRAM: {} cycles; stride-based data prefetch",
+        c.mem.dram_latency
+    );
 
     println!("Core");
     println!(

@@ -15,8 +15,7 @@ use elf_trace::workloads;
 
 fn main() {
     let p = params(100_000, 400_000);
-    let name =
-        std::env::var("ELF_BENCH_WORKLOAD").unwrap_or_else(|_| "641.leela".to_owned());
+    let name = std::env::var("ELF_BENCH_WORKLOAD").unwrap_or_else(|_| "641.leela".to_owned());
     let w = workloads::by_name(&name).unwrap_or_else(|| panic!("unknown workload {name}"));
     banner(
         &format!("Kernel throughput — simulated cycles/sec and MIPS on {name}"),

@@ -30,7 +30,10 @@ pub struct BenchParams {
 #[must_use]
 pub fn params(default_warmup: u64, default_window: u64) -> BenchParams {
     let get = |k: &str, d: u64| {
-        std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+        std::env::var(k)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(d)
     };
     BenchParams {
         warmup: get("ELF_BENCH_WARMUP", default_warmup),
@@ -56,10 +59,9 @@ pub fn measure(name: &str, arch: FetchArch, p: BenchParams) -> RunResult {
 /// Where CSV copies of the regenerated figures land.
 #[must_use]
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_owned()),
-    )
-    .join("elf-results");
+    let dir =
+        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_owned()))
+            .join("elf-results");
     let _ = fs::create_dir_all(&dir);
     dir
 }
@@ -142,7 +144,11 @@ mod tests {
 
     #[test]
     fn ascii_bars_center_and_direction() {
-        let rows = vec![("up".to_owned(), 1.05), ("down".to_owned(), 0.95), ("flat".to_owned(), 1.0)];
+        let rows = vec![
+            ("up".to_owned(), 1.05),
+            ("down".to_owned(), 0.95),
+            ("flat".to_owned(), 1.0),
+        ];
         let chart = ascii_bars(&rows, 0.10);
         let lines: Vec<&str> = chart.lines().collect();
         assert_eq!(lines.len(), 3);

@@ -33,7 +33,8 @@ impl BtbBuilder {
     }
 
     fn expected_next(&self) -> Option<Addr> {
-        self.cur.map(|e| e.start_pc + u64::from(e.inst_count) * INST_BYTES)
+        self.cur
+            .map(|e| e.start_pc + u64::from(e.inst_count) * INST_BYTES)
     }
 
     /// Feeds one retired instruction. `kind` is `Some` for branches;
@@ -66,15 +67,26 @@ impl BtbBuilder {
             Some(k) if k.is_conditional() => {
                 // Taken conditional: needs a slot.
                 self.extend_plain(pc, &mut out);
-                let e = self.cur.as_mut().expect("extend_plain always leaves an entry");
+                let e = self
+                    .cur
+                    .as_mut()
+                    .expect("extend_plain always leaves an entry");
                 let offset = e.inst_count - 1;
-                if !e.add_branch(BtbBranch { offset, kind: k, target }) {
+                if !e.add_branch(BtbBranch {
+                    offset,
+                    kind: k,
+                    target,
+                }) {
                     // Rule 2: no slot — split before this instruction.
                     let mut done = self.cur.take().expect("checked above");
                     done.inst_count -= 1;
                     out.push(done);
                     let mut fresh = BtbEntry::new(pc, 1);
-                    fresh.add_branch(BtbBranch { offset: 0, kind: k, target });
+                    fresh.add_branch(BtbBranch {
+                        offset: 0,
+                        kind: k,
+                        target,
+                    });
                     out.push(fresh);
                     return out;
                 }
@@ -85,16 +97,27 @@ impl BtbBuilder {
             Some(k) => {
                 // Rule 1: unconditional of any kind terminates the entry.
                 self.extend_plain(pc, &mut out);
-                let e = self.cur.as_mut().expect("extend_plain always leaves an entry");
+                let e = self
+                    .cur
+                    .as_mut()
+                    .expect("extend_plain always leaves an entry");
                 let offset = e.inst_count - 1;
-                if e.add_branch(BtbBranch { offset, kind: k, target }) {
+                if e.add_branch(BtbBranch {
+                    offset,
+                    kind: k,
+                    target,
+                }) {
                     out.extend(self.cur.take());
                 } else {
                     let mut done = self.cur.take().expect("checked above");
                     done.inst_count -= 1;
                     out.push(done);
                     let mut fresh = BtbEntry::new(pc, 1);
-                    fresh.add_branch(BtbBranch { offset: 0, kind: k, target });
+                    fresh.add_branch(BtbBranch {
+                        offset: 0,
+                        kind: k,
+                        target,
+                    });
                     out.push(fresh);
                 }
             }

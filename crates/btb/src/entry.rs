@@ -38,7 +38,11 @@ impl BtbEntry {
     #[must_use]
     pub fn new(start_pc: Addr, inst_count: u8) -> Self {
         assert!(inst_count >= 1 && inst_count as usize <= MAX_BLOCK_INSTS);
-        BtbEntry { start_pc, inst_count, branches: [None; MAX_TAKEN_BRANCHES_PER_ENTRY] }
+        BtbEntry {
+            start_pc,
+            inst_count,
+            branches: [None; MAX_TAKEN_BRANCHES_PER_ENTRY],
+        }
     }
 
     /// Tracked branches in offset order.
@@ -185,7 +189,11 @@ mod snap_impls {
                     "btb entry inst_count {inst_count} out of range"
                 )));
             }
-            Ok(BtbEntry { start_pc, inst_count, branches })
+            Ok(BtbEntry {
+                start_pc,
+                inst_count,
+                branches,
+            })
         }
     }
 }
@@ -196,7 +204,11 @@ mod tests {
     use elf_types::BranchKind::*;
 
     fn br(offset: u8, kind: BranchKind, target: Addr) -> BtbBranch {
-        BtbBranch { offset, kind, target: kind.is_direct().then_some(target) }
+        BtbBranch {
+            offset,
+            kind,
+            target: kind.is_direct().then_some(target),
+        }
     }
 
     #[test]

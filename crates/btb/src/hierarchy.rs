@@ -136,18 +136,30 @@ impl BtbHierarchy {
         self.stats.lookups += 1;
         if let Some(entry) = self.l0.lookup(pc) {
             self.stats.l0_hits += 1;
-            return Some(BtbLookup { entry, level: 0, latency: self.l0.latency() });
+            return Some(BtbLookup {
+                entry,
+                level: 0,
+                latency: self.l0.latency(),
+            });
         }
         if let Some(entry) = self.l1.lookup(pc) {
             self.stats.l1_hits += 1;
             self.l0.install(entry);
-            return Some(BtbLookup { entry, level: 1, latency: self.l1.latency() });
+            return Some(BtbLookup {
+                entry,
+                level: 1,
+                latency: self.l1.latency(),
+            });
         }
         if let Some(entry) = self.l2.lookup(pc) {
             self.stats.l2_hits += 1;
             self.l1.install(entry);
             self.l0.install(entry);
-            return Some(BtbLookup { entry, level: 2, latency: self.l2.latency() });
+            return Some(BtbLookup {
+                entry,
+                level: 2,
+                latency: self.l2.latency(),
+            });
         }
         self.stats.misses += 1;
         None
@@ -200,7 +212,11 @@ impl BtbHierarchy {
     /// Occupancy of (L0, L1, L2) in entries.
     #[must_use]
     pub fn occupancy(&self) -> (usize, usize, usize) {
-        (self.l0.occupancy(), self.l1.occupancy(), self.l2.occupancy())
+        (
+            self.l0.occupancy(),
+            self.l1.occupancy(),
+            self.l2.occupancy(),
+        )
     }
 
     /// Serializes the full hierarchy (all three levels plus counters).
@@ -306,13 +322,21 @@ mod tests {
     fn install_merges_with_existing_entry() {
         let mut h = BtbHierarchy::paper();
         let mut short = BtbEntry::new(0x3000, 4);
-        short.add_branch(BtbBranch { offset: 3, kind: CondDirect, target: Some(0x9000) });
+        short.add_branch(BtbBranch {
+            offset: 3,
+            kind: CondDirect,
+            target: Some(0x9000),
+        });
         h.install(short);
         // A later fall-through pass extends the run to 16 instructions.
         h.install(BtbEntry::new(0x3000, 16));
         let e = h.lookup(0x3000).unwrap().entry;
         assert_eq!(e.inst_count, 16, "merge must grow the span");
-        assert_eq!(e.branch_at(3).unwrap().target, Some(0x9000), "slot preserved");
+        assert_eq!(
+            e.branch_at(3).unwrap().target,
+            Some(0x9000),
+            "slot preserved"
+        );
     }
 
     #[test]

@@ -32,7 +32,13 @@ impl BtbLevel {
         assert!(entries > 0 && ways > 0);
         let ways = ways.min(entries);
         let nsets = (entries / ways).max(1).next_power_of_two();
-        BtbLevel { name, sets: vec![Vec::with_capacity(ways); nsets], ways, latency, tick: 0 }
+        BtbLevel {
+            name,
+            sets: vec![Vec::with_capacity(ways); nsets],
+            ways,
+            latency,
+            tick: 0,
+        }
     }
 
     fn set_index(&self, pc: Addr) -> usize {
@@ -69,7 +75,10 @@ impl BtbLevel {
     #[must_use]
     pub fn peek(&self, pc: Addr) -> Option<&BtbEntry> {
         let si = self.set_index(pc);
-        self.sets[si].iter().find(|w| w.entry.start_pc == pc).map(|w| &w.entry)
+        self.sets[si]
+            .iter()
+            .find(|w| w.entry.start_pc == pc)
+            .map(|w| &w.entry)
     }
 
     /// Installs (or overwrites) an entry, evicting LRU if the set is full.
@@ -92,7 +101,10 @@ impl BtbLevel {
                 .expect("set is non-empty");
             set.swap_remove(victim);
         }
-        set.push(Way { entry, last_use: tick });
+        set.push(Way {
+            entry,
+            last_use: tick,
+        });
     }
 
     /// Number of live entries.

@@ -97,7 +97,9 @@ impl elf_types::Snap for ExecState {
         use elf_types::Snap;
         Ok(match r.u8("exec state tag")? {
             0 => ExecState::Waiting,
-            1 => ExecState::Executing { done: Snap::load(r)? },
+            1 => ExecState::Executing {
+                done: Snap::load(r)?,
+            },
             2 => ExecState::Done,
             tag => {
                 return Err(elf_types::SnapError::BadTag {
@@ -223,6 +225,9 @@ pub struct AppliedFlush {
     /// Unretired call/return operations surviving in the ROB, oldest first
     /// (RAS replay material).
     pub ras_replay: Vec<elf_frontend::RasOp>,
+    /// In-flight instructions this flush squashed (dispatch queue + ROB) —
+    /// the per-flush recovery depth the metrics layer histograms.
+    pub squashed: u64,
 }
 
 /// Instructions retired this cycle (program order).
@@ -406,13 +411,16 @@ impl Backend {
     /// Enqueues a decoded instruction for rename `rename_latency` cycles
     /// from now.
     pub fn accept(&mut self, b: BoundInst, now: Cycle) {
-        self.dispatch_q.push_back((b, now + u64::from(self.cfg.rename_latency)));
+        self.dispatch_q
+            .push_back((b, now + u64::from(self.cfg.rename_latency)));
     }
 
     /// Current ROB index of an in-flight fid, if still in the ROB.
     #[inline]
     fn rob_index(&self, fid: u64) -> Option<usize> {
-        self.rob_pos.get(&fid).map(|&p| (p - self.rob_front_pos) as usize)
+        self.rob_pos
+            .get(&fid)
+            .map(|&p| (p - self.rob_front_pos) as usize)
     }
 
     /// Inserts `fid` into the sorted ready list (no-op when present).
@@ -436,7 +444,10 @@ impl Backend {
         if let Some(i) = self.rob_index(fid) {
             return self.rob[i].b.seq;
         }
-        self.dispatch_q.iter().find(|(b, _)| b.fid == fid).and_then(|(b, _)| b.seq)
+        self.dispatch_q
+            .iter()
+            .find(|(b, _)| b.fid == fid)
+            .and_then(|(b, _)| b.seq)
     }
 
     /// Rewrites an in-flight branch's effective prediction (divergence
@@ -593,7 +604,9 @@ impl Backend {
 
     fn dispatch(&mut self, now: Cycle) {
         for _ in 0..self.cfg.rename_width {
-            let Some(&(b, ready)) = self.dispatch_q.front() else { break };
+            let Some(&(b, ready)) = self.dispatch_q.front() else {
+                break;
+            };
             if ready > now {
                 break;
             }
@@ -622,9 +635,7 @@ impl Backend {
                     self.rob
                         .iter()
                         .rev()
-                        .find(|e| {
-                            e.b.sinst.class == InstClass::Store && e.b.sinst.pc == spc
-                        })
+                        .find(|e| e.b.sinst.class == InstClass::Store && e.b.sinst.pc == spc)
                         .map(|e| e.b.fid)
                 })
             } else {
@@ -659,7 +670,8 @@ impl Backend {
             }
             self.iq_used += 1;
             self.stats.dispatched += 1;
-            self.rob_pos.insert(b.fid, self.rob_front_pos + self.rob.len() as u64);
+            self.rob_pos
+                .insert(b.fid, self.rob_front_pos + self.rob.len() as u64);
             self.rob.push_back(RobEntry {
                 b,
                 state: ExecState::Waiting,
@@ -790,7 +802,9 @@ impl Backend {
             }
             self.exec_events.pop();
             // Squashed entries leave stale completion events behind; skip them.
-            let Some(i) = self.rob_index(fid) else { continue };
+            let Some(i) = self.rob_index(fid) else {
+                continue;
+            };
             if !matches!(self.rob[i].state, ExecState::Executing { done: d } if d == done) {
                 continue;
             }
@@ -833,10 +847,9 @@ impl Backend {
                     let qword = sa & !7;
                     for j in (i + 1)..self.rob.len() {
                         let l = &self.rob[j];
-                        let load_done = matches!(
-                            l.state,
-                            ExecState::Done | ExecState::Executing { .. }
-                        ) && l.issued;
+                        let load_done =
+                            matches!(l.state, ExecState::Done | ExecState::Executing { .. })
+                                && l.issued;
                         if l.b.is_bound()
                             && l.b.sinst.class == InstClass::Load
                             && load_done
@@ -889,7 +902,8 @@ impl Backend {
         });
         // invariant: the pending flush installed above has apply_at ==
         // now, so apply_flush always returns Some here.
-        self.apply_flush(now).expect("watchdog flush applies immediately")
+        self.apply_flush(now)
+            .expect("watchdog flush applies immediately")
     }
 
     fn apply_flush(&mut self, now: Cycle) -> Option<AppliedFlush> {
@@ -915,10 +929,12 @@ impl Backend {
                 min_squashed_seq = Some(min_squashed_seq.map_or(sq, |m: u64| m.min(sq)));
             }
         };
+        let mut flush_squashed: u64 = 0;
         self.dispatch_q.retain(|(b, _)| {
             let keep = b.fid <= p.boundary_fid;
             if !keep {
                 note(b.seq);
+                flush_squashed += 1;
             }
             keep
         });
@@ -931,6 +947,7 @@ impl Backend {
             note(e.b.seq);
             self.release_entry(&e);
             self.stats.squashed += 1;
+            flush_squashed += 1;
         }
         self.rebuild_reg_map();
         self.prune_wakeup(p.boundary_fid);
@@ -975,6 +992,7 @@ impl Backend {
             cursor_target,
             hist_replay,
             ras_replay,
+            squashed: flush_squashed,
         })
     }
 
@@ -1272,7 +1290,15 @@ mod tests {
         let mut be = Backend::new(cfg());
         let mut mem = MemorySystem::paper();
         for i in 0..64 {
-            be.accept(alu(i + 1, 0x1000 + i * 4, Some((i % 28) as u8), [NO_REG, NO_REG]), 0);
+            be.accept(
+                alu(
+                    i + 1,
+                    0x1000 + i * 4,
+                    Some((i % 28) as u8),
+                    [NO_REG, NO_REG],
+                ),
+                0,
+            );
         }
         let (cycles, retired) = run_until_empty(&mut be, &mut mem);
         assert_eq!(retired.len(), 64);
@@ -1291,7 +1317,10 @@ mod tests {
         }
         let (cycles, retired) = run_until_empty(&mut be, &mut mem);
         assert_eq!(retired.len(), 32);
-        assert!(cycles >= 32, "a chain must take >= 1 cycle per link, took {cycles}");
+        assert!(
+            cycles >= 32,
+            "a chain must take >= 1 cycle per link, took {cycles}"
+        );
     }
 
     #[test]
@@ -1406,13 +1435,19 @@ mod tests {
 
         for c in 0..200 {
             let (_, f) = be.tick(&mut mem, c);
-            assert!(f.is_none(), "predicted dependence must prevent the violation");
+            assert!(
+                f.is_none(),
+                "predicted dependence must prevent the violation"
+            );
             if be.is_empty() {
                 break;
             }
         }
         assert!(be.is_empty());
-        assert!(be.stats().forwards >= 1, "the load should forward from the store");
+        assert!(
+            be.stats().forwards >= 1,
+            "the load should forward from the store"
+        );
     }
 
     #[test]
@@ -1431,7 +1466,10 @@ mod tests {
         be.accept(ld, 0);
         let (cycles, _) = run_until_empty(&mut be, &mut mem);
         assert!(be.stats().forwards >= 1);
-        assert!(cycles < 20, "forwarded load must not pay DRAM: {cycles} cycles");
+        assert!(
+            cycles < 20,
+            "forwarded load must not pay DRAM: {cycles} cycles"
+        );
     }
 
     #[test]
@@ -1445,7 +1483,10 @@ mod tests {
             let (r, _) = be.tick(&mut mem, c);
             assert!(r.is_empty());
         }
-        assert!(be.watchdog_tripped(300), "stuck wrong-path head must trip the watchdog");
+        assert!(
+            be.watchdog_tripped(300),
+            "stuck wrong-path head must trip the watchdog"
+        );
         let f = be.force_watchdog_flush(300);
         assert_eq!(f.cause, FlushCause::Watchdog);
         assert_eq!(f.cursor_target, u64::MAX, "nothing bound was squashed");
@@ -1459,7 +1500,12 @@ mod tests {
         // Warm one line so loads are uniform 3-cycle L1D hits.
         mem.load(0x1, 0xc_0000, 0);
         for i in 0..40 {
-            let mut ld = alu(1 + i, 0xa000 + i * 4, Some((i % 20) as u8), [NO_REG, NO_REG]);
+            let mut ld = alu(
+                1 + i,
+                0xa000 + i * 4,
+                Some((i % 20) as u8),
+                [NO_REG, NO_REG],
+            );
             ld.sinst.class = InstClass::Load;
             ld.mem_addr = Some(0xc_0000);
             be.accept(ld, 0);
@@ -1467,12 +1513,18 @@ mod tests {
         let (cycles, retired) = run_until_empty(&mut be, &mut mem);
         assert_eq!(retired.len(), 40);
         // 2 LD/ST ports => at least 20 issue cycles.
-        assert!(cycles >= 20, "2 AGU ports must bound 40 loads: {cycles} cycles");
+        assert!(
+            cycles >= 20,
+            "2 AGU ports must bound 40 loads: {cycles} cycles"
+        );
     }
 
     #[test]
     fn prf_exhaustion_stalls_dispatch() {
-        let small = BackendConfig { prf_entries: 4, ..cfg() };
+        let small = BackendConfig {
+            prf_entries: 4,
+            ..cfg()
+        };
         let mut be = Backend::new(small);
         let mut mem = MemorySystem::paper();
         // A long divide holds its register; writers pile up behind the
@@ -1481,7 +1533,10 @@ mod tests {
         div.sinst.class = InstClass::Div;
         be.accept(div, 0);
         for i in 0..12 {
-            be.accept(alu(2 + i, 0xb004 + i * 4, Some((2 + i % 20) as u8), [1, NO_REG]), 0);
+            be.accept(
+                alu(2 + i, 0xb004 + i * 4, Some((2 + i % 20) as u8), [1, NO_REG]),
+                0,
+            );
         }
         for c in 0..4 {
             be.tick(&mut mem, c);
@@ -1510,7 +1565,10 @@ mod tests {
             cycle += 1;
             assert!(cycle < 1000);
         }
-        assert!(max_per_cycle <= 9, "Table II commit width is 9: saw {max_per_cycle}");
+        assert!(
+            max_per_cycle <= 9,
+            "Table II commit width is 9: saw {max_per_cycle}"
+        );
         assert!(max_per_cycle >= 4, "wide commit must actually happen");
     }
 
@@ -1537,7 +1595,10 @@ mod tests {
 
     #[test]
     fn rob_capacity_blocks_dispatch() {
-        let small = BackendConfig { rob_entries: 8, ..cfg() };
+        let small = BackendConfig {
+            rob_entries: 8,
+            ..cfg()
+        };
         let mut be = Backend::new(small);
         let mut mem = MemorySystem::paper();
         // A long divide at the head keeps the ROB full.

@@ -119,6 +119,12 @@ pub struct SimConfig {
     /// Flight-recorder capacity: how many recent pipeline events are
     /// retained for diagnostic reports (0 disables retention). Default 64.
     pub recorder_events: usize,
+    /// Collect the cycle-attribution metrics of [`crate::metrics`]
+    /// (per-cycle fetch-bubble taxonomy, mode occupancy, resync/flush
+    /// latency histograms). Off by default: when disabled the simulator
+    /// pays a single branch per tick and `SimStats` are bit-identical
+    /// either way (`tests/metrics.rs` pins this).
+    pub metrics: bool,
 }
 
 impl SimConfig {
@@ -135,6 +141,7 @@ impl SimConfig {
             fault: None,
             idle_skip: true,
             recorder_events: 64,
+            metrics: false,
         }
     }
 
@@ -173,7 +180,9 @@ impl SimConfig {
         if problems.is_empty() {
             Ok(())
         } else {
-            Err(SimError::InvalidConfig { reason: problems.join("; ") })
+            Err(SimError::InvalidConfig {
+                reason: problems.join("; "),
+            })
         }
     }
 }
@@ -225,6 +234,9 @@ mod tests {
         c.backend.commit_width = 0;
         let err = c.validate().unwrap_err();
         let msg = err.to_string();
-        assert!(msg.contains("rob_entries") && msg.contains("commit_width"), "{msg}");
+        assert!(
+            msg.contains("rob_entries") && msg.contains("commit_width"),
+            "{msg}"
+        );
     }
 }

@@ -42,8 +42,16 @@ impl std::fmt::Display for DiagnosticReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "=== simulator diagnostic report ===")?;
         writeln!(f, "cycle        : {}", self.cycle)?;
-        writeln!(f, "retired      : {} of {} targeted", self.retired, self.target)?;
-        writeln!(f, "oracle cursor: seq {} (wrong path: {})", self.cursor, self.wrong_path)?;
+        writeln!(
+            f,
+            "retired      : {} of {} targeted",
+            self.retired, self.target
+        )?;
+        writeln!(
+            f,
+            "oracle cursor: seq {} (wrong path: {})",
+            self.cursor, self.wrong_path
+        )?;
         writeln!(f, "front-end    : {}", self.frontend_state)?;
         writeln!(
             f,
@@ -121,7 +129,11 @@ impl std::fmt::Display for SimError {
                 write!(f, "{report}")
             }
             SimError::MalformedProgram { program, issues } => {
-                writeln!(f, "program {program:?} failed validation ({} issues):", issues.len())?;
+                writeln!(
+                    f,
+                    "program {program:?} failed validation ({} issues):",
+                    issues.len()
+                )?;
                 for issue in issues {
                     writeln!(f, "  - {issue:?}")?;
                 }

@@ -7,6 +7,7 @@
 
 use crate::config::SimConfig;
 use crate::error::{DiagnosticReport, SimError};
+use crate::metrics::Metrics;
 use crate::recorder::TimedEvent;
 use crate::sim::Simulator;
 use crate::stats::SimStats;
@@ -26,6 +27,8 @@ pub struct RunResult {
     pub arch: String,
     /// Collected statistics.
     pub stats: SimStats,
+    /// Cycle-attribution metrics, when [`SimConfig::metrics`] was enabled.
+    pub metrics: Option<Metrics>,
 }
 
 impl RunResult {
@@ -52,7 +55,13 @@ pub fn run_one(
     let mut sim = Simulator::try_for_workload(SimConfig::baseline(arch), w)?;
     sim.warm_up(warmup)?;
     let stats = sim.run(window)?;
-    Ok(RunResult { workload: w.name.to_owned(), arch: arch.label().to_owned(), stats })
+    let metrics = sim.metrics().cloned();
+    Ok(RunResult {
+        workload: w.name.to_owned(),
+        arch: arch.label().to_owned(),
+        stats,
+        metrics,
+    })
 }
 
 /// Runs one workload under one explicit configuration.
@@ -71,7 +80,13 @@ pub fn run_config(
     let mut sim = Simulator::try_for_workload(cfg, w)?;
     sim.warm_up(warmup)?;
     let stats = sim.run(window)?;
-    Ok(RunResult { workload: w.name.to_owned(), arch: arch.label().to_owned(), stats })
+    let metrics = sim.metrics().cloned();
+    Ok(RunResult {
+        workload: w.name.to_owned(),
+        arch: arch.label().to_owned(),
+        stats,
+        metrics,
+    })
 }
 
 /// One cell of a supervised experiment grid: a workload run under one
@@ -153,7 +168,13 @@ pub struct CellError {
 
 impl CellError {
     fn plain(error: String) -> Self {
-        CellError { error, retryable: false, report: None, events: Vec::new(), checkpoint: None }
+        CellError {
+            error,
+            retryable: false,
+            report: None,
+            events: Vec::new(),
+            checkpoint: None,
+        }
     }
 }
 
@@ -196,6 +217,24 @@ impl GridReport {
         self.failed.is_empty()
     }
 
+    /// Folds the metrics of every completed cell into one grid-wide
+    /// accumulator (`None` when no cell collected metrics). Counter and
+    /// bucket totals add; the partition invariant is preserved, so the
+    /// merged fetch-cycle buckets still sum to the merged cycle count.
+    #[must_use]
+    pub fn merged_metrics(&self) -> Option<Metrics> {
+        let mut acc: Option<Metrics> = None;
+        for r in &self.ok {
+            if let Some(m) = &r.metrics {
+                match &mut acc {
+                    None => acc = Some(m.clone()),
+                    Some(a) => a.merge(m),
+                }
+            }
+        }
+        acc
+    }
+
     /// One-line per-failure summary for log output.
     #[must_use]
     pub fn failure_summary(&self) -> String {
@@ -229,7 +268,10 @@ impl GridReport {
 /// recorder tail and the nearest prior checkpoint.
 pub fn run_cell(index: usize, cell: &GridCell, opts: &GridOptions) -> Result<RunResult, CellError> {
     let Some(w) = elf_trace::workloads::by_name(&cell.workload) else {
-        return Err(CellError::plain(format!("unknown workload {:?}", cell.workload)));
+        return Err(CellError::plain(format!(
+            "unknown workload {:?}",
+            cell.workload
+        )));
     };
     let arch = cell.cfg.arch;
     let mut sim = Simulator::try_for_workload(cell.cfg.clone(), &w)
@@ -244,7 +286,8 @@ pub fn run_cell(index: usize, cell: &GridCell, opts: &GridOptions) -> Result<Run
         checkpoint: ckpt.clone(),
     };
 
-    sim.warm_up(cell.warmup).map_err(|e| fail(&sim, e, &checkpoint))?;
+    sim.warm_up(cell.warmup)
+        .map_err(|e| fail(&sim, e, &checkpoint))?;
 
     let step = match opts.checkpoint_every {
         0 => cell.window.max(1),
@@ -284,7 +327,13 @@ pub fn run_cell(index: usize, cell: &GridCell, opts: &GridOptions) -> Result<Run
             break s;
         }
     };
-    Ok(RunResult { workload: cell.workload.clone(), arch: arch.label().to_owned(), stats })
+    let metrics = sim.metrics().cloned();
+    Ok(RunResult {
+        workload: cell.workload.clone(),
+        arch: arch.label().to_owned(),
+        stats,
+        metrics,
+    })
 }
 
 /// Runs every cell under supervision with the default runner
@@ -371,7 +420,10 @@ where
     ok.sort_by_key(|(i, _)| *i);
     let mut failed = failed.into_inner().expect("failed lock");
     failed.sort_by_key(|f| f.cell);
-    GridReport { ok: ok.into_iter().map(|(_, r)| r).collect(), failed }
+    GridReport {
+        ok: ok.into_iter().map(|(_, r)| r).collect(),
+        failed,
+    }
 }
 
 /// IPC estimated from SimPoint-selected intervals: the simulator runs all

@@ -1,7 +1,7 @@
 //! Deterministic fault injection.
 //!
 //! A [`FaultPlan`] describes *which* pipeline faults to inject and *how
-//! often*; the simulator owns a [`FaultInjector`] that turns the plan into
+//! often*; the simulator owns a `FaultInjector` that turns the plan into
 //! concrete per-cycle decisions. Everything is derived from the plan's
 //! seed with a private splitmix64 stream, so a given (config, workload,
 //! plan) triple always injects the same faults at the same cycles —
@@ -77,7 +77,9 @@ impl std::str::FromStr for FaultKind {
         FaultKind::ALL
             .into_iter()
             .find(|k| k.label() == s)
-            .ok_or_else(|| format!("unknown fault kind {s:?} (expected flush|btb|icache|mispredict)"))
+            .ok_or_else(|| {
+                format!("unknown fault kind {s:?} (expected flush|btb|icache|mispredict)")
+            })
     }
 }
 
@@ -96,7 +98,10 @@ impl elf_types::Snap for FaultKind {
         FaultKind::ALL
             .into_iter()
             .find(|k| k.index() == usize::from(tag))
-            .ok_or(elf_types::SnapError::BadTag { what: "fault kind", tag: u64::from(tag) })
+            .ok_or(elf_types::SnapError::BadTag {
+                what: "fault kind",
+                tag: u64::from(tag),
+            })
     }
 }
 
@@ -116,7 +121,10 @@ impl FaultPlan {
     /// A plan injecting nothing.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        FaultPlan { seed, rate_per_100k: [0; 4] }
+        FaultPlan {
+            seed,
+            rate_per_100k: [0; 4],
+        }
     }
 
     /// A plan injecting only `kind`, `rate` times per 100k cycles.
@@ -128,7 +136,10 @@ impl FaultPlan {
     /// A plan injecting every kind at the same rate.
     #[must_use]
     pub fn uniform(rate: u32, seed: u64) -> Self {
-        FaultPlan { seed, rate_per_100k: [rate; 4] }
+        FaultPlan {
+            seed,
+            rate_per_100k: [rate; 4],
+        }
     }
 
     /// Returns the plan with `kind` set to `rate` per 100k cycles.
@@ -266,7 +277,10 @@ mod tests {
         assert!(!p.is_empty());
         let u = FaultPlan::uniform(10, 2);
         assert!(FaultKind::ALL.iter().all(|&k| u.rate(k) == 10));
-        assert_eq!(FaultPlan::single(FaultKind::EvictIcache, 7, 3).rate(FaultKind::EvictIcache), 7);
+        assert_eq!(
+            FaultPlan::single(FaultKind::EvictIcache, 7, 3).rate(FaultKind::EvictIcache),
+            7
+        );
     }
 
     #[test]
@@ -286,7 +300,10 @@ mod tests {
             if inj.due(FaultKind::SpuriousFlush, now) {
                 fired += 1;
             }
-            assert!(!inj.due(FaultKind::CorruptBtb, now), "disabled kinds never fire");
+            assert!(
+                !inj.due(FaultKind::CorruptBtb, now),
+                "disabled kinds never fire"
+            );
         }
         assert!(
             (50..200).contains(&fired),

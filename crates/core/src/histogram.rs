@@ -19,7 +19,11 @@ impl Histogram {
     #[must_use]
     pub fn new(max: usize) -> Self {
         assert!(max > 0);
-        Histogram { buckets: vec![0; max + 1], total: 0, sum: 0 }
+        Histogram {
+            buckets: vec![0; max + 1],
+            total: 0,
+            sum: 0,
+        }
     }
 
     /// Records one sample.
@@ -79,7 +83,22 @@ impl Histogram {
         if self.total == 0 {
             return 0.0;
         }
-        self.buckets.get(i).map_or(0.0, |&b| b as f64 / self.total as f64)
+        self.buckets
+            .get(i)
+            .map_or(0.0, |&b| b as f64 / self.total as f64)
+    }
+
+    /// Folds another histogram's samples into this one (grid aggregation).
+    /// Buckets are added index-wise; when `other` is wider, its excess
+    /// buckets clamp into this histogram's last bucket, matching how
+    /// [`Histogram::record`] treats out-of-range samples.
+    pub fn merge(&mut self, other: &Histogram) {
+        let last = self.buckets.len() - 1;
+        for (i, &b) in other.buckets.iter().enumerate() {
+            self.buckets[i.min(last)] += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
     }
 
     /// Clears all samples.

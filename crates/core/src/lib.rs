@@ -26,6 +26,7 @@ pub mod experiment;
 pub mod fault;
 pub mod histogram;
 pub mod memdep;
+pub mod metrics;
 pub mod recorder;
 pub mod sim;
 pub mod snapshot;
@@ -38,6 +39,7 @@ pub use experiment::{
     geomean, run_grid, CellError, CellFailure, GridCell, GridOptions, GridReport, RunResult,
 };
 pub use fault::{FaultKind, FaultPlan};
+pub use metrics::{Metrics, MetricsRun};
 pub use recorder::{FlightRecorder, PipelineEvent, TimedEvent};
 pub use sim::Simulator;
 pub use snapshot::Snapshot;

@@ -51,7 +51,11 @@ impl MemDepTable {
     pub fn train(&mut self, load_pc: Addr, store_pc: Addr) {
         self.trainings += 1;
         let i = self.index(load_pc);
-        self.entries[i] = Entry { load_pc, store_pc, valid: true };
+        self.entries[i] = Entry {
+            load_pc,
+            store_pc,
+            valid: true,
+        };
     }
 
     /// At rename: the store PC this load must wait for, if any.

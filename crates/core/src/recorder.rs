@@ -125,16 +125,30 @@ impl elf_types::Snap for PipelineEvent {
     fn load(r: &mut elf_types::SnapReader<'_>) -> Result<Self, elf_types::SnapError> {
         use elf_types::Snap;
         Ok(match r.u8("pipeline event tag")? {
-            0 => PipelineEvent::Flush { cause: Snap::load(r)?, restart_pc: Snap::load(r)? },
-            1 => PipelineEvent::DivergenceSquash { fid: Snap::load(r)? },
+            0 => PipelineEvent::Flush {
+                cause: Snap::load(r)?,
+                restart_pc: Snap::load(r)?,
+            },
+            1 => PipelineEvent::DivergenceSquash {
+                fid: Snap::load(r)?,
+            },
             2 => PipelineEvent::WatchdogResync {
                 restart_pc: Snap::load(r)?,
                 cursor: Snap::load(r)?,
             },
-            3 => PipelineEvent::ModeSwitch { coupled: Snap::load(r)? },
-            4 => PipelineEvent::FaqEdge { empty: Snap::load(r)? },
-            5 => PipelineEvent::WrongPath { got: Snap::load(r)?, want: Snap::load(r)? },
-            6 => PipelineEvent::FaultInjected { kind: Snap::load(r)? },
+            3 => PipelineEvent::ModeSwitch {
+                coupled: Snap::load(r)?,
+            },
+            4 => PipelineEvent::FaqEdge {
+                empty: Snap::load(r)?,
+            },
+            5 => PipelineEvent::WrongPath {
+                got: Snap::load(r)?,
+                want: Snap::load(r)?,
+            },
+            6 => PipelineEvent::FaultInjected {
+                kind: Snap::load(r)?,
+            },
             tag => {
                 return Err(elf_types::SnapError::BadTag {
                     what: "pipeline event tag",
@@ -167,7 +181,10 @@ impl elf_types::Snap for TimedEvent {
     }
     fn load(r: &mut elf_types::SnapReader<'_>) -> Result<Self, elf_types::SnapError> {
         use elf_types::Snap;
-        Ok(TimedEvent { cycle: Snap::load(r)?, event: Snap::load(r)? })
+        Ok(TimedEvent {
+            cycle: Snap::load(r)?,
+            event: Snap::load(r)?,
+        })
     }
 }
 
@@ -184,7 +201,11 @@ impl FlightRecorder {
     /// recording).
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        FlightRecorder { buf: VecDeque::with_capacity(capacity.min(4096)), capacity, total: 0 }
+        FlightRecorder {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            total: 0,
+        }
     }
 
     /// Records `event` at `cycle`, evicting the oldest entry when full.
@@ -304,7 +325,10 @@ mod tests {
     fn events_render_compactly() {
         let e = TimedEvent {
             cycle: 12,
-            event: PipelineEvent::Flush { cause: FlushCause::Mispredict, restart_pc: 0x4000 },
+            event: PipelineEvent::Flush {
+                cause: FlushCause::Mispredict,
+                restart_pc: 0x4000,
+            },
         };
         let s = format!("{e}");
         assert!(s.contains("Mispredict") && s.contains("0x4000"), "{s}");

@@ -10,6 +10,7 @@ use crate::config::SimConfig;
 use crate::error::{DiagnosticReport, SimError};
 use crate::fault::{FaultInjector, FaultKind};
 use crate::histogram::Histogram;
+use crate::metrics::Metrics;
 use crate::recorder::{FlightRecorder, PipelineEvent};
 use crate::stats::SimStats;
 use elf_btb::{BtbBranch, BtbEntry};
@@ -75,6 +76,9 @@ pub struct Simulator {
     /// Cycles advanced in bulk by idle-cycle skipping (diagnostic: these
     /// are regular simulated cycles, already included in `cycle`).
     skipped_cycles: u64,
+    /// Cycle-attribution registry (`SimConfig::metrics`; `None` = off, the
+    /// default — the disabled path costs one branch per tick).
+    metrics: Option<Box<Metrics>>,
     // Reusable per-tick buffers (scratch, not simulated state; never
     // serialized).
     tick_out: elf_frontend::TickOutput,
@@ -148,6 +152,7 @@ impl Simulator {
             rob_occupancy: Histogram::new(cfg.backend.rob_entries),
             delivery_rate: Histogram::new(cfg.frontend.fetch_width * 2),
             skipped_cycles: 0,
+            metrics: cfg.metrics.then(|| Box::new(Metrics::new())),
             tick_out: elf_frontend::TickOutput::default(),
             retired_scratch: Vec::new(),
             cfg,
@@ -269,6 +274,17 @@ impl Simulator {
                 t = t.min(due);
             }
         }
+        // With metrics on, stop where the fetch engine frees up: whether
+        // fetch is waiting (`fe_busy > now`) is the only cycle-attribution
+        // input that can flip inside a quiescent region, and clamping
+        // (always safe — it only shortens the skip) keeps the bulk
+        // classification exact and bit-identical to the stepped walk.
+        if self.metrics.is_some() {
+            let fb = self.fe.fetch_busy_until();
+            if fb > now {
+                t = t.min(fb);
+            }
+        }
         // Stopping at the cap reproduces the reference wedge behavior:
         // the no-op ticks up to `cap - 1` are charged, then `run` reports.
         t = t.min(cap);
@@ -282,7 +298,14 @@ impl Simulator {
     /// skipped and stepped runs.
     fn skip_idle(&mut self, k: u64) {
         debug_assert!(k > 0);
-        if self.be.dispatch_room() {
+        let room = self.be.dispatch_room();
+        if let Some(m) = &mut self.metrics {
+            // Every classification input is frozen across the region (see
+            // `idle_skip_target`), so the whole span charges as one cause.
+            let probe = self.fe.cycle_probe(self.cycle);
+            m.charge(&probe, 0, room, k);
+        }
+        if room {
             self.fe.charge_idle_cycles(k);
         }
         self.delivery_rate.record_n(0, k);
@@ -369,6 +392,16 @@ impl Simulator {
         self.mem.reset_stats();
         self.rob_occupancy.reset();
         self.delivery_rate.reset();
+        if let Some(m) = &mut self.metrics {
+            m.reset(self.cycle, self.fe.in_coupled_mode());
+        }
+    }
+
+    /// The cycle-attribution registry accumulated since the last stats
+    /// reset (`None` when `SimConfig::metrics` is off).
+    #[must_use]
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.metrics.as_deref()
     }
 
     /// Statistics since the last reset.
@@ -427,8 +460,9 @@ impl Simulator {
         // position with the checkpointed one.
         let mut sim = Simulator::try_from_program(snap.cfg.clone(), Arc::clone(&snap.prog), 0)?;
         let mut r = elf_types::SnapReader::new(&snap.state);
-        sim.load_state(&mut r)
-            .map_err(|e| SimError::Snapshot { reason: e.to_string() })?;
+        sim.load_state(&mut r).map_err(|e| SimError::Snapshot {
+            reason: e.to_string(),
+        })?;
         if r.remaining() != 0 {
             return Err(SimError::Snapshot {
                 reason: format!("{} trailing bytes after simulator state", r.remaining()),
@@ -475,6 +509,13 @@ impl Simulator {
         self.rob_occupancy.save_state(w);
         self.delivery_rate.save_state(w);
         self.skipped_cycles.save(w);
+        match &self.metrics {
+            None => w.u8(0),
+            Some(m) => {
+                w.u8(1);
+                m.save_state(w);
+            }
+        }
     }
 
     /// Restores state saved by `save_state` into a simulator built from
@@ -520,6 +561,18 @@ impl Simulator {
         self.rob_occupancy.load_state(r)?;
         self.delivery_rate.load_state(r)?;
         self.skipped_cycles = Snap::load(r)?;
+        let m_tag = r.u8("metrics tag")?;
+        match (&mut self.metrics, m_tag) {
+            (None, 0) => {}
+            (Some(m), 1) => m.load_state(r)?,
+            (m, tag) => {
+                return Err(SnapError::mismatch(format!(
+                    "snapshot metrics presence (tag {tag}) does not match the \
+                     configuration (metrics {})",
+                    if m.is_some() { "on" } else { "off" }
+                )))
+            }
+        }
         self.recent.clear();
         Ok(())
     }
@@ -536,7 +589,11 @@ impl Simulator {
         // The output buffer is a reusable field, moved out for the borrow
         // and restored at the end of the tick.
         let mut out = std::mem::take(&mut self.tick_out);
-        if self.be.dispatch_room() {
+        let room = self.be.dispatch_room();
+        // Cycle attribution reads the pre-tick state; the delivery count
+        // completes the classification below.
+        let probe = self.metrics.is_some().then(|| self.fe.cycle_probe(now));
+        if room {
             self.fe.tick_into(&self.prog, &mut self.mem, now, &mut out);
         } else {
             out.clear();
@@ -546,7 +603,8 @@ impl Simulator {
         // than the diverging branch and make the DCF's direction its
         // effective prediction.
         if let Some(sq) = out.squash {
-            self.recorder.record(now, PipelineEvent::DivergenceSquash { fid: sq.fid });
+            self.recorder
+                .record(now, PipelineEvent::DivergenceSquash { fid: sq.fid });
             if let Some(min_seq) = self.be.squash_after_returning_seq(sq.boundary_fid) {
                 self.cursor = self.cursor.min(min_seq);
                 debug_assert!(
@@ -571,7 +629,8 @@ impl Simulator {
                     target: sq.target,
                     source: elf_types::PredSource::TageTagged,
                 };
-                self.be.repredict_branch(sq.fid, pred, misp, e.next_pc, seq + 1, now);
+                self.be
+                    .repredict_branch(sq.fid, pred, misp, e.next_pc, seq + 1, now);
                 self.wrong_path = misp;
             }
             // (If the branch is no longer in flight the squash is stale;
@@ -616,8 +675,7 @@ impl Simulator {
                     if let Some(k) = sinst.branch_kind() {
                         let pred = d.inst.pred.unwrap_or_else(Prediction::not_taken);
                         let mut misp = if k.is_conditional() {
-                            pred.taken != e.taken
-                                || (e.taken && pred.target != Some(e.next_pc))
+                            pred.taken != e.taken || (e.taken && pred.target != Some(e.next_pc))
                         } else {
                             pred.target != Some(e.next_pc)
                         };
@@ -642,8 +700,13 @@ impl Simulator {
                             self.recent, self.fe.debug_state()
                         );
                     }
-                    self.recorder
-                        .record(now, PipelineEvent::WrongPath { got: sinst.pc, want: e.pc });
+                    self.recorder.record(
+                        now,
+                        PipelineEvent::WrongPath {
+                            got: sinst.pc,
+                            want: e.pc,
+                        },
+                    );
                     self.wrong_path = true;
                 }
             }
@@ -659,6 +722,12 @@ impl Simulator {
             self.be.accept(b, now);
         }
 
+        if let Some(m) = &mut self.metrics {
+            // invariant: the probe is captured whenever metrics are on.
+            let p = probe.expect("captured above");
+            m.charge(&p, out.delivered.len(), room, 1);
+            m.note_delivery(out.delivered.len(), now);
+        }
         self.delivery_rate.record(out.delivered.len());
         self.rob_occupancy.record(self.be.rob_len());
         self.tick_out = out;
@@ -673,7 +742,10 @@ impl Simulator {
         if let Some(f) = flush {
             self.recorder.record(
                 now,
-                PipelineEvent::Flush { cause: f.cause, restart_pc: f.restart_pc },
+                PipelineEvent::Flush {
+                    cause: f.cause,
+                    restart_pc: f.restart_pc,
+                },
             );
             self.fe.flush(
                 &FlushCtx {
@@ -684,8 +756,17 @@ impl Simulator {
                 },
                 now,
             );
+            if let Some(m) = &mut self.metrics {
+                m.note_flush(now, f.squashed);
+            }
             self.cursor = f.cursor_target;
-            debug_assert!(self.cursor > self.retired_seq || self.retired == 0, "flush {:?} rewind below retired: cursor {} retired {}", f.cause, self.cursor, self.retired_seq);
+            debug_assert!(
+                self.cursor > self.retired_seq || self.retired == 0,
+                "flush {:?} rewind below retired: cursor {} retired {}",
+                f.cause,
+                self.cursor,
+                self.retired_seq
+            );
             self.wrong_path = false;
             debug_assert!(matches!(
                 f.cause,
@@ -693,8 +774,7 @@ impl Simulator {
             ));
             self.last_progress = now;
         } else if !self.be.has_pending_flush()
-            && (self.be.watchdog_tripped(now)
-                || now.saturating_sub(self.last_progress) > 2000)
+            && (self.be.watchdog_tripped(now) || now.saturating_sub(self.last_progress) > 2000)
         {
             // Safety net: the delivered stream left the correct path without
             // a resolving branch (divergence gap). Squash the whole pipeline
@@ -702,7 +782,11 @@ impl Simulator {
             if self.trace_watchdogs {
                 eprintln!(
                     "WD c{} cursor={} wp={} | {} | {}",
-                    now, self.cursor, self.wrong_path, self.fe.debug_state(), self.be.debug_head()
+                    now,
+                    self.cursor,
+                    self.wrong_path,
+                    self.fe.debug_state(),
+                    self.be.debug_head()
                 );
             }
             self.force_resync(now);
@@ -711,14 +795,19 @@ impl Simulator {
         // Edge detection for the flight recorder: ELF couple/decouple
         // transitions and FAQ drain/refill edges.
         let coupled = self.fe.in_coupled_mode();
+        if let Some(m) = &mut self.metrics {
+            m.note_coupled(coupled, now);
+        }
         if coupled != self.prev_coupled {
             self.prev_coupled = coupled;
-            self.recorder.record(now, PipelineEvent::ModeSwitch { coupled });
+            self.recorder
+                .record(now, PipelineEvent::ModeSwitch { coupled });
         }
         let faq_empty = self.fe.faq_len() == 0;
         if faq_empty != self.prev_faq_empty {
             self.prev_faq_empty = faq_empty;
-            self.recorder.record(now, PipelineEvent::FaqEdge { empty: faq_empty });
+            self.recorder
+                .record(now, PipelineEvent::FaqEdge { empty: faq_empty });
         }
 
         self.cycle += 1;
@@ -731,8 +820,13 @@ impl Simulator {
         let f = self.be.force_watchdog_flush(now);
         self.cursor = self.cursor.min(f.cursor_target);
         let pc = self.oracle.entry(self.cursor).pc;
-        self.recorder
-            .record(now, PipelineEvent::WatchdogResync { restart_pc: pc, cursor: self.cursor });
+        self.recorder.record(
+            now,
+            PipelineEvent::WatchdogResync {
+                restart_pc: pc,
+                cursor: self.cursor,
+            },
+        );
         self.fe.flush(
             &FlushCtx {
                 restart_pc: pc,
@@ -742,6 +836,9 @@ impl Simulator {
             },
             now,
         );
+        if let Some(m) = &mut self.metrics {
+            m.note_flush(now, f.squashed);
+        }
         self.wrong_path = false;
         self.last_progress = now;
     }
@@ -752,10 +849,16 @@ impl Simulator {
     fn inject_faults(&mut self, now: Cycle) {
         // The injector is moved out while firing so fault payloads can
         // borrow the rest of the simulator.
-        let Some(mut inj) = self.injector.take() else { return };
+        let Some(mut inj) = self.injector.take() else {
+            return;
+        };
         if inj.due(FaultKind::CorruptBtb, now) {
-            self.recorder
-                .record(now, PipelineEvent::FaultInjected { kind: FaultKind::CorruptBtb });
+            self.recorder.record(
+                now,
+                PipelineEvent::FaultInjected {
+                    kind: FaultKind::CorruptBtb,
+                },
+            );
             // Overwrite the entry covering the PC the correct path is
             // about to fetch with a structurally valid but wrong one: a
             // random span ending in a branch to the program entry point.
@@ -776,8 +879,12 @@ impl Simulator {
             self.fe.inject_btb_entry(entry);
         }
         if inj.due(FaultKind::EvictIcache, now) {
-            self.recorder
-                .record(now, PipelineEvent::FaultInjected { kind: FaultKind::EvictIcache });
+            self.recorder.record(
+                now,
+                PipelineEvent::FaultInjected {
+                    kind: FaultKind::EvictIcache,
+                },
+            );
             // Kick the lines around the current fetch point out of the
             // instruction hierarchy: the next fetches see miss latency,
             // which is exactly a delayed I-cache response to the FAQ.
@@ -787,15 +894,23 @@ impl Simulator {
             }
         }
         if inj.due(FaultKind::ForceMispredict, now) {
-            self.recorder
-                .record(now, PipelineEvent::FaultInjected { kind: FaultKind::ForceMispredict });
+            self.recorder.record(
+                now,
+                PipelineEvent::FaultInjected {
+                    kind: FaultKind::ForceMispredict,
+                },
+            );
             self.force_misp_pending = true;
         }
         // A spurious flush waits for any in-flight flush to land first
         // (`due` keeps it armed until then).
         if !self.be.has_pending_flush() && inj.due(FaultKind::SpuriousFlush, now) {
-            self.recorder
-                .record(now, PipelineEvent::FaultInjected { kind: FaultKind::SpuriousFlush });
+            self.recorder.record(
+                now,
+                PipelineEvent::FaultInjected {
+                    kind: FaultKind::SpuriousFlush,
+                },
+            );
             self.injector = Some(inj);
             self.force_resync(now);
             return;
@@ -895,8 +1010,7 @@ mod tests {
 
     #[test]
     fn warmup_reset_gives_clean_windows() {
-        let mut sim =
-            Simulator::new(SimConfig::baseline(FetchArch::Dcf), &mini_spec(13));
+        let mut sim = Simulator::new(SimConfig::baseline(FetchArch::Dcf), &mini_spec(13));
         sim.warm_up_ok(20_000);
         let s0 = sim.stats();
         assert_eq!(s0.retired, 0);
@@ -908,21 +1022,22 @@ mod tests {
 
     #[test]
     fn branch_stats_are_populated() {
-        let mut sim =
-            Simulator::new(SimConfig::baseline(FetchArch::Dcf), &mini_spec(17));
+        let mut sim = Simulator::new(SimConfig::baseline(FetchArch::Dcf), &mini_spec(17));
         let s = sim.run_ok(40_000);
         assert!(s.cond_branches > 1000, "cond branches: {}", s.cond_branches);
         assert!(s.branches > s.cond_branches);
         assert!(s.taken_branches > 0);
-        assert!(s.branch_mpki() > 0.0, "synthetic code always has some misses");
+        assert!(
+            s.branch_mpki() > 0.0,
+            "synthetic code always has some misses"
+        );
         assert!(s.branch_mpki() < 80.0);
     }
 
     #[test]
     fn deterministic_given_config_and_seed() {
         let run = || {
-            let mut sim =
-                Simulator::new(SimConfig::baseline(FetchArch::Dcf), &mini_spec(19));
+            let mut sim = Simulator::new(SimConfig::baseline(FetchArch::Dcf), &mini_spec(19));
             let s = sim.run_ok(20_000);
             (s.cycles, s.retired, s.cond_mispredicts)
         };
@@ -944,8 +1059,14 @@ mod tests {
         // Retire counts overshoot by < commit width; compare loosely.
         assert!(a.0.abs_diff(b.0) <= 16);
         assert!(a.0.abs_diff(c.0) <= 16);
-        assert!(a.1.abs_diff(b.1) * 100 <= a.1 * 2, "taken counts differ: {a:?} {b:?}");
-        assert!(a.1.abs_diff(c.1) * 100 <= a.1 * 2, "taken counts differ: {a:?} {c:?}");
+        assert!(
+            a.1.abs_diff(b.1) * 100 <= a.1 * 2,
+            "taken counts differ: {a:?} {b:?}"
+        );
+        assert!(
+            a.1.abs_diff(c.1) * 100 <= a.1 * 2,
+            "taken counts differ: {a:?} {c:?}"
+        );
     }
 
     #[test]
@@ -966,8 +1087,7 @@ mod tests {
 
     #[test]
     fn occupancy_histograms_are_populated() {
-        let mut sim =
-            Simulator::new(SimConfig::baseline(FetchArch::Dcf), &mini_spec(73));
+        let mut sim = Simulator::new(SimConfig::baseline(FetchArch::Dcf), &mini_spec(73));
         sim.warm_up_ok(10_000);
         let _ = sim.run_ok(10_000);
         let rob = sim.rob_occupancy();
@@ -975,8 +1095,15 @@ mod tests {
         assert!(rob.mean() > 1.0, "the ROB is never persistently empty");
         let del = sim.delivery_rate();
         assert!(del.count() == rob.count());
-        assert!(del.mean() > 0.5, "deliveries happen most cycles: mean {}", del.mean());
-        assert!(del.quantile(1.0) <= 16, "delivery bounded by 2x fetch width");
+        assert!(
+            del.mean() > 0.5,
+            "deliveries happen most cycles: mean {}",
+            del.mean()
+        );
+        assert!(
+            del.quantile(1.0) <= 16,
+            "delivery bounded by 2x fetch width"
+        );
     }
 
     #[test]
@@ -985,7 +1112,11 @@ mod tests {
         let mut sim = Simulator::for_workload(SimConfig::baseline(FetchArch::Dcf), &w);
         let s = sim.run_ok(20_000);
         assert!(s.ipc() > 0.1);
-        assert!(s.branch_mpki() > 2.0, "leela must be a high-MPKI model: {}", s.branch_mpki());
+        assert!(
+            s.branch_mpki() > 2.0,
+            "leela must be a high-MPKI model: {}",
+            s.branch_mpki()
+        );
     }
 
     #[test]
@@ -1064,7 +1195,10 @@ mod tests {
         let mut sim = Simulator::new(cfg, &mini_spec(59));
         let _ = sim.run_ok(20_000);
         let rec = sim.recorder();
-        assert!(rec.total_recorded() > 0, "a real run produces pipeline events");
+        assert!(
+            rec.total_recorded() > 0,
+            "a real run produces pipeline events"
+        );
         assert!(rec.len() <= 32);
         assert!(rec
             .events()

@@ -44,7 +44,7 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"ELFSNAP\0";
 /// Current snapshot layout version. Readers reject any other value: the
 /// format is not self-describing, so a layout change anywhere in the
 /// serialized state must bump this.
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// A complete, restorable simulator checkpoint.
 #[derive(Debug, Clone)]
@@ -91,7 +91,9 @@ impl Snapshot {
     /// [`Snapshot::restore`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, SimError> {
         let mut r = SnapReader::new(bytes);
-        Snapshot::decode(&mut r).map_err(|e| SimError::Snapshot { reason: e.to_string() })
+        Snapshot::decode(&mut r).map_err(|e| SimError::Snapshot {
+            reason: e.to_string(),
+        })
     }
 
     fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
@@ -112,7 +114,14 @@ impl Snapshot {
         let cycle = Snap::load(r)?;
         let retired = Snap::load(r)?;
         let state = Snap::load(r)?;
-        Ok(Snapshot { version, cfg, prog, cycle, retired, state })
+        Ok(Snapshot {
+            version,
+            cfg,
+            prog,
+            cycle,
+            retired,
+            state,
+        })
     }
 
     /// Builds a fresh simulator and restores this snapshot into it —
@@ -274,13 +283,20 @@ fn load_fetch_arch(r: &mut SnapReader<'_>) -> Result<FetchArch, SnapError> {
         1 => FetchArch::Dcf,
         2 => {
             let idx = r.u8("ELF variant tag")?;
-            let v = ElfVariant::ALL.get(usize::from(idx)).copied().ok_or(
-                SnapError::BadTag { what: "ELF variant tag", tag: u64::from(idx) },
-            )?;
+            let v = ElfVariant::ALL
+                .get(usize::from(idx))
+                .copied()
+                .ok_or(SnapError::BadTag {
+                    what: "ELF variant tag",
+                    tag: u64::from(idx),
+                })?;
             FetchArch::Elf(v)
         }
         tag => {
-            return Err(SnapError::BadTag { what: "fetch arch tag", tag: u64::from(tag) })
+            return Err(SnapError::BadTag {
+                what: "fetch arch tag",
+                tag: u64::from(tag),
+            })
         }
     })
 }
@@ -330,7 +346,9 @@ fn load_frontend_config(r: &mut SnapReader<'_>) -> Result<FrontendConfig, SnapEr
         cond_requires_saturation: Snap::load(r)?,
         cpl_cond_kind: match r.u8("coupled cond kind tag")? {
             0 => CoupledCondKind::Bimodal,
-            1 => CoupledCondKind::Gshare { hist_bits: Snap::load(r)? },
+            1 => CoupledCondKind::Gshare {
+                hist_bits: Snap::load(r)?,
+            },
             tag => {
                 return Err(SnapError::BadTag {
                     what: "coupled cond kind tag",
@@ -396,7 +414,10 @@ fn save_fault_plan(p: &FaultPlan, w: &mut SnapWriter) {
 }
 
 fn load_fault_plan(r: &mut SnapReader<'_>) -> Result<FaultPlan, SnapError> {
-    Ok(FaultPlan { seed: Snap::load(r)?, rate_per_100k: Snap::load(r)? })
+    Ok(FaultPlan {
+        seed: Snap::load(r)?,
+        rate_per_100k: Snap::load(r)?,
+    })
 }
 
 pub(crate) fn save_sim_config(c: &SimConfig, w: &mut SnapWriter) {
@@ -415,6 +436,7 @@ pub(crate) fn save_sim_config(c: &SimConfig, w: &mut SnapWriter) {
     }
     c.idle_skip.save(w);
     c.recorder_events.save(w);
+    c.metrics.save(w);
 }
 
 pub(crate) fn load_sim_config(r: &mut SnapReader<'_>) -> Result<SimConfig, SnapError> {
@@ -429,11 +451,15 @@ pub(crate) fn load_sim_config(r: &mut SnapReader<'_>) -> Result<SimConfig, SnapE
             0 => None,
             1 => Some(load_fault_plan(r)?),
             tag => {
-                return Err(SnapError::BadTag { what: "fault plan tag", tag: u64::from(tag) })
+                return Err(SnapError::BadTag {
+                    what: "fault plan tag",
+                    tag: u64::from(tag),
+                })
             }
         },
         idle_skip: Snap::load(r)?,
         recorder_events: Snap::load(r)?,
+        metrics: Snap::load(r)?,
     })
 }
 
@@ -479,6 +505,7 @@ mod tests {
         cfg.recorder_events = 128;
         cfg.progress_cap_base = 12_345;
         cfg.idle_skip = false;
+        cfg.metrics = true;
         assert_eq!(roundtrip_cfg(&cfg), cfg);
     }
 
@@ -494,7 +521,10 @@ mod tests {
         assert!(Snapshot::from_bytes(&SNAPSHOT_MAGIC[..4]).is_err());
         let mut bytes = SNAPSHOT_MAGIC.to_vec();
         bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
-        assert!(Snapshot::from_bytes(&bytes).is_err(), "version-only stream is truncated");
+        assert!(
+            Snapshot::from_bytes(&bytes).is_err(),
+            "version-only stream is truncated"
+        );
     }
 
     #[test]

@@ -74,7 +74,12 @@ pub fn measure(
 /// Renders a [`SCHEMA`] report: the measured samples for one workload,
 /// one JSON object per architecture.
 #[must_use]
-pub fn render_report(workload: &str, warmup: u64, window: u64, samples: &[ThroughputSample]) -> String {
+pub fn render_report(
+    workload: &str,
+    warmup: u64,
+    window: u64,
+    samples: &[ThroughputSample],
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");

@@ -53,8 +53,13 @@ impl ElfVariant {
     }
 
     /// All variants in the order of Figure 7/8.
-    pub const ALL: [ElfVariant; 5] =
-        [ElfVariant::L, ElfVariant::Ret, ElfVariant::Ind, ElfVariant::Cond, ElfVariant::U];
+    pub const ALL: [ElfVariant; 5] = [
+        ElfVariant::L,
+        ElfVariant::Ret,
+        ElfVariant::Ind,
+        ElfVariant::Cond,
+        ElfVariant::U,
+    ];
 }
 
 /// Which conditional predictor the coupled fetcher implements (COND-/U-ELF).

@@ -145,9 +145,7 @@ impl DivergenceTracker {
         // consulted only when a matching (taken, branch) pair needs its
         // targets verified — comparing them out of order would resolve a
         // *later* target mismatch before an *earlier* direction mismatch.
-        while let (Some(&c), Some(&d)) =
-            (self.coupled_vec.front(), self.decoupled_vec.front())
-        {
+        while let (Some(&c), Some(&d)) = (self.coupled_vec.front(), self.decoupled_vec.front()) {
             if c.slot != d.slot {
                 self.divergences += 1;
                 // §IV-C2 case 1: the DCF streamed a sequential proxy while
@@ -304,7 +302,10 @@ impl elf_types::Snap for VecSlot {
     }
     fn load(r: &mut elf_types::SnapReader<'_>) -> Result<Self, elf_types::SnapError> {
         use elf_types::Snap;
-        Ok(VecSlot { taken: Snap::load(r)?, branch: Snap::load(r)? })
+        Ok(VecSlot {
+            taken: Snap::load(r)?,
+            branch: Snap::load(r)?,
+        })
     }
 }
 
@@ -315,7 +316,10 @@ impl elf_types::Snap for TargetSlot {
     }
     fn load(r: &mut elf_types::SnapReader<'_>) -> Result<Self, elf_types::SnapError> {
         use elf_types::Snap;
-        Ok(TargetSlot { kind: Snap::load(r)?, target: Snap::load(r)? })
+        Ok(TargetSlot {
+            kind: Snap::load(r)?,
+            target: Snap::load(r)?,
+        })
     }
 }
 
@@ -403,12 +407,18 @@ mod tests {
             slot(true, true),
             10,
             0x128,
-            Some(TargetSlot { kind: CondDirect, target: 0x100 }),
+            Some(TargetSlot {
+                kind: CondDirect,
+                target: 0x100,
+            }),
         );
         t.record_decoupled(
             slot(true, true),
             false,
-            Some(TargetSlot { kind: CondDirect, target: 0x100 }),
+            Some(TargetSlot {
+                kind: CondDirect,
+                target: 0x100,
+            }),
         );
         assert_eq!(t.compare(), None);
         assert!(t.fully_drained());
@@ -449,12 +459,18 @@ mod tests {
             slot(true, true),
             3,
             0xa00,
-            Some(TargetSlot { kind: IndirectJump, target: 0x1000 }),
+            Some(TargetSlot {
+                kind: IndirectJump,
+                target: 0x1000,
+            }),
         );
         t.record_decoupled(
             slot(true, true),
             false,
-            Some(TargetSlot { kind: IndirectJump, target: 0x2000 }),
+            Some(TargetSlot {
+                kind: IndirectJump,
+                target: 0x2000,
+            }),
         );
         assert_eq!(
             t.compare(),
@@ -476,12 +492,18 @@ mod tests {
             slot(true, true),
             1,
             0xb00,
-            Some(TargetSlot { kind: UncondDirect, target: 0x3000 }),
+            Some(TargetSlot {
+                kind: UncondDirect,
+                target: 0x3000,
+            }),
         );
         t.record_decoupled(
             slot(true, true),
             false,
-            Some(TargetSlot { kind: UncondDirect, target: 0x4000 }),
+            Some(TargetSlot {
+                kind: UncondDirect,
+                target: 0x4000,
+            }),
         );
         assert_eq!(t.compare(), Some(Divergence::TrustFetcher));
     }
@@ -514,7 +536,10 @@ mod tests {
             slot(true, true),
             0,
             0xe00,
-            Some(TargetSlot { kind: Return, target: 0x10 }),
+            Some(TargetSlot {
+                kind: Return,
+                target: 0x10,
+            }),
         );
         t.reset();
         assert!(t.fully_drained());
@@ -527,12 +552,18 @@ mod tests {
             slot(true, true),
             0,
             0xf00,
-            Some(TargetSlot { kind: Return, target: 0x10 }),
+            Some(TargetSlot {
+                kind: Return,
+                target: 0x10,
+            }),
         );
         t.record_decoupled(
             slot(true, true),
             false,
-            Some(TargetSlot { kind: IndirectJump, target: 0x10 }),
+            Some(TargetSlot {
+                kind: IndirectJump,
+                target: 0x10,
+            }),
         );
         assert_eq!(t.compare(), Some(Divergence::TrustFetcher));
     }

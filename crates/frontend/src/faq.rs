@@ -116,7 +116,10 @@ impl Faq {
             return false;
         };
         self.head_consumed += n;
-        debug_assert!(self.head_consumed <= head.inst_count, "overconsumed FAQ head");
+        debug_assert!(
+            self.head_consumed <= head.inst_count,
+            "overconsumed FAQ head"
+        );
         if self.head_consumed >= head.inst_count {
             self.entries.pop_front();
             self.head_consumed = 0;

@@ -16,8 +16,8 @@ use elf_mem::MemorySystem;
 use elf_predictors::{Bimodal, BranchTargetCache, Gshare, Ittage, Ras, Tage};
 use elf_trace::Program;
 use elf_types::{
-    seq_pc, Addr, BranchKind, Cycle, FaqBranch, FaqEntry, FaqTermination, FetchMode,
-    FetchedInst, FxHashMap, PredSource, Prediction, INST_BYTES, MAX_BLOCK_INSTS,
+    seq_pc, Addr, BranchKind, Cycle, FaqBranch, FaqEntry, FaqTermination, FetchMode, FetchedInst,
+    FxHashMap, PredSource, Prediction, INST_BYTES, MAX_BLOCK_INSTS,
 };
 use std::collections::VecDeque;
 
@@ -62,6 +62,167 @@ impl TickOutput {
     pub fn clear(&mut self) {
         self.delivered.clear();
         self.squash = None;
+    }
+}
+
+/// Exhaustive per-cycle attribution of front-end time (the metrics layer's
+/// fetch-bubble taxonomy). Exactly one cause is charged per simulated
+/// cycle by [`FetchCycleProbe::classify`]; the variants are ordered by
+/// classification priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchCycleCause {
+    /// At least one instruction was delivered to the back-end.
+    UsefulFetch,
+    /// The back-end dispatch queue was full, so the front-end was not
+    /// ticked at all.
+    DispatchBackpressure,
+    /// Recovering from a back-end flush: nothing delivered since the
+    /// resteer (the paper's flush-recovery penalty, Fig. 6).
+    FlushRecovery,
+    /// Recovering from a Decode-driven resteer after a BTB-miss misfetch
+    /// (the Decode→BP1 loop of §III-C).
+    BtbMissResteer,
+    /// Coupled mode is stalled on an unpredictable branch, waiting for the
+    /// DCF to catch up (the resynchronization wait of §IV-B).
+    ResyncWait,
+    /// The fetch engine is busy on an I-cache (or TLB-modelled) access
+    /// that has not completed yet.
+    IcacheMissStall,
+    /// Coupled-mode fetch is probing the I-cache but had nothing to
+    /// deliver this cycle (pipeline latency of the coupled path).
+    CoupledProbe,
+    /// Decoupled fetch idled because the FAQ is empty (the DCF has not
+    /// produced a block to fetch).
+    FaqEmpty,
+    /// None of the above: in-flight groups are still traversing the
+    /// fetch/decode latency (pipeline fill).
+    PipelineFill,
+}
+
+impl FetchCycleCause {
+    /// Every cause, in classification-priority order.
+    pub const ALL: [FetchCycleCause; 9] = [
+        FetchCycleCause::UsefulFetch,
+        FetchCycleCause::DispatchBackpressure,
+        FetchCycleCause::FlushRecovery,
+        FetchCycleCause::BtbMissResteer,
+        FetchCycleCause::ResyncWait,
+        FetchCycleCause::IcacheMissStall,
+        FetchCycleCause::CoupledProbe,
+        FetchCycleCause::FaqEmpty,
+        FetchCycleCause::PipelineFill,
+    ];
+
+    /// Dense index into a per-cause accumulator array.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case key used in the `elfsim-metrics-v1` JSON report.
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            FetchCycleCause::UsefulFetch => "useful_fetch",
+            FetchCycleCause::DispatchBackpressure => "dispatch_backpressure",
+            FetchCycleCause::FlushRecovery => "flush_recovery",
+            FetchCycleCause::BtbMissResteer => "btb_miss_resteer",
+            FetchCycleCause::ResyncWait => "resync_wait",
+            FetchCycleCause::IcacheMissStall => "icache_miss_stall",
+            FetchCycleCause::CoupledProbe => "coupled_probe",
+            FetchCycleCause::FaqEmpty => "faq_empty",
+            FetchCycleCause::PipelineFill => "pipeline_fill",
+        }
+    }
+
+    /// Human-readable label for the `--metrics` table.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FetchCycleCause::UsefulFetch => "useful fetch",
+            FetchCycleCause::DispatchBackpressure => "dispatch backpressure",
+            FetchCycleCause::FlushRecovery => "flush recovery",
+            FetchCycleCause::BtbMissResteer => "BTB-miss resteer",
+            FetchCycleCause::ResyncWait => "resync wait",
+            FetchCycleCause::IcacheMissStall => "I-cache miss stall",
+            FetchCycleCause::CoupledProbe => "coupled-mode probe",
+            FetchCycleCause::FaqEmpty => "FAQ-empty bubble",
+            FetchCycleCause::PipelineFill => "pipeline fill",
+        }
+    }
+}
+
+/// Pre-tick observation of the front-end state needed to attribute the
+/// coming cycle to one [`FetchCycleCause`]. Captured by
+/// [`Frontend::cycle_probe`] *before* the tick mutates anything; every
+/// field is frozen across an idle-skipped region (the skipper clamps its
+/// target to `fe_busy` when metrics are on, so `fetch_wait` cannot flip
+/// mid-region), which is what makes bulk attribution of skipped cycles
+/// exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchCycleProbe {
+    /// In coupled mode (always for NoDCF, never for plain DCF).
+    pub coupled: bool,
+    /// Coupled mode is stalled on an unpredictable branch (ELF resync).
+    pub stalled: bool,
+    /// The FAQ holds no blocks.
+    pub faq_empty: bool,
+    /// The fetch engine is busy past the probed cycle (`fe_busy > now`).
+    pub fetch_wait: bool,
+    /// A back-end flush has resteered fetch and nothing was delivered yet.
+    pub recovering_flush: bool,
+    /// A Decode resteer (BTB-miss misfetch) is pending its first delivery.
+    pub recovering_decode: bool,
+    /// The architecture has a decoupled fetch engine (DCF / ELF).
+    pub has_dcf: bool,
+    /// FAQ occupancy in blocks at probe time.
+    pub faq_len: usize,
+}
+
+impl FetchCycleProbe {
+    /// Attributes one cycle. `delivered` is the number of instructions the
+    /// tick handed to the back-end (0 for skipped cycles, by definition);
+    /// `dispatch_room` is whether the back-end accepted a front-end tick
+    /// at all. First matching rule wins.
+    #[must_use]
+    pub fn classify(&self, delivered: usize, dispatch_room: bool) -> FetchCycleCause {
+        if delivered > 0 {
+            return FetchCycleCause::UsefulFetch;
+        }
+        if !dispatch_room {
+            return FetchCycleCause::DispatchBackpressure;
+        }
+        if self.recovering_flush {
+            return FetchCycleCause::FlushRecovery;
+        }
+        if self.recovering_decode {
+            return FetchCycleCause::BtbMissResteer;
+        }
+        if self.coupled && self.stalled {
+            return FetchCycleCause::ResyncWait;
+        }
+        if self.fetch_wait {
+            return FetchCycleCause::IcacheMissStall;
+        }
+        if self.has_dcf && self.coupled {
+            return FetchCycleCause::CoupledProbe;
+        }
+        if self.has_dcf && !self.coupled && self.faq_empty {
+            return FetchCycleCause::FaqEmpty;
+        }
+        FetchCycleCause::PipelineFill
+    }
+
+    /// Mode-occupancy slot for this cycle: 0 = decoupled, 1 = coupled,
+    /// 2 = resyncing (coupled but stalled on the DCF). NoDCF is always
+    /// coupled and plain DCF always decoupled, by construction.
+    #[must_use]
+    pub fn mode_index(&self) -> usize {
+        match (self.coupled, self.stalled) {
+            (true, true) => 2,
+            (true, false) => 1,
+            (false, _) => 0,
+        }
     }
 }
 
@@ -191,6 +352,11 @@ pub struct Frontend {
     /// Cycle of the last back-end flush with no delivery yet (recovery
     /// latency measurement).
     pending_resteer_cycle: Option<Cycle>,
+    /// A Decode-driven resteer (BTB-miss misfetch or NoDCF taken-branch
+    /// redirect) happened and nothing was delivered since — the bubbles
+    /// until the next delivery belong to the resteer
+    /// ([`FetchCycleCause::BtbMissResteer`]).
+    pending_decode_resteer: bool,
     stats: FrontendStats,
 
     // Scratch storage (not simulated state; never serialized). Retired
@@ -254,6 +420,7 @@ impl Frontend {
             fid_next: 0,
             last_retired_fid: 0,
             pending_resteer_cycle: None,
+            pending_decode_resteer: false,
             stats: FrontendStats::default(),
             group_pool: Vec::new(),
             resync_scratch: FaqEntry::placeholder(),
@@ -339,6 +506,32 @@ impl Frontend {
     #[must_use]
     pub fn faq_len(&self) -> usize {
         self.faq.len()
+    }
+
+    /// First cycle at which the fetch engine is free again. The idle-cycle
+    /// skipper clamps its skip target to this when metrics are enabled:
+    /// `fetch_wait` is the only classification input that can flip inside
+    /// a quiescent region, and clamping (always safe — it only shortens a
+    /// skip) freezes it.
+    #[must_use]
+    pub fn fetch_busy_until(&self) -> Cycle {
+        self.fe_busy
+    }
+
+    /// Captures the pre-tick state that attributes the cycle starting at
+    /// `now` to a [`FetchCycleCause`] (see [`FetchCycleProbe`]).
+    #[must_use]
+    pub fn cycle_probe(&self, now: Cycle) -> FetchCycleProbe {
+        FetchCycleProbe {
+            coupled: self.mode == FetchMode::Coupled,
+            stalled: self.stall.is_some(),
+            faq_empty: self.faq.is_empty(),
+            fetch_wait: self.fe_busy > now,
+            recovering_flush: self.pending_resteer_cycle.is_some(),
+            recovering_decode: self.pending_decode_resteer,
+            has_dcf: self.arch.has_dcf(),
+            faq_len: self.faq.len(),
+        }
     }
 
     /// Resets statistics after warm-up.
@@ -547,7 +740,11 @@ impl Frontend {
                 BranchKind::IndirectJump | BranchKind::IndirectCall => {
                     let hist = self.spec_hist;
                     let (tgt, src, class) = match self.btc.predict(bpc) {
-                        Some(t) => (Some(t), PredSource::BranchTargetCache, ExitClass::IndirectBtc),
+                        Some(t) => (
+                            Some(t),
+                            PredSource::BranchTargetCache,
+                            ExitClass::IndirectBtc,
+                        ),
                         None => (
                             self.ittage.predict_with_hist(bpc, hist),
                             PredSource::Ittage,
@@ -576,13 +773,19 @@ impl Frontend {
                 let next = tgt.unwrap_or_else(|| seq_pc(start, off as usize + 1));
                 (off + 1, FaqTermination::TakenBranch(kind), next)
             }
-            None => (entry.inst_count, FaqTermination::FallThrough, entry.fallthrough()),
+            None => (
+                entry.inst_count,
+                FaqTermination::FallThrough,
+                entry.fallthrough(),
+            ),
         };
 
         // Bubble accounting (§III-B / Fig. 2): stated in `timing.rs` and
         // tested exhaustively there.
         let class = exit.map_or(
-            ExitClass::FallThrough { full_length: entry.is_full_length() },
+            ExitClass::FallThrough {
+                full_length: entry.is_full_length(),
+            },
             |(_, _, _, c)| c,
         );
         let bubbles = generation_bubbles(level, class, self.cfg.ittage_bubbles);
@@ -668,14 +871,7 @@ impl Frontend {
                     // is resteered to follow the fetcher.
                     let (pred, extra) =
                         self.consult_main_predictors(st.pc, st.kind, st.static_target);
-                    self.deliver_one(
-                        prog,
-                        st.pc,
-                        Some(pred),
-                        FetchMode::Coupled,
-                        cycle,
-                        out,
-                    );
+                    self.deliver_one(prog, st.pc, Some(pred), FetchMode::Coupled, cycle, out);
                     self.dcc += 1;
                     let next = if pred.taken {
                         pred.target.unwrap_or(st.pc + INST_BYTES)
@@ -684,6 +880,7 @@ impl Frontend {
                     };
                     self.stall = None;
                     self.stats.decode_resteers += 1;
+                    self.pending_decode_resteer = true;
                     self.coupled_restart_dcf(next, cycle, extra);
                     return false;
                 }
@@ -729,13 +926,15 @@ impl Frontend {
             self.leftover_preds.clear();
             let first = (self.dcc.max(self.dc) - self.dc) as u8;
             for off in first..amend {
-                let p = head_clone.branches.iter().find(|b| b.offset == off).map(|b| {
-                    Prediction {
+                let p = head_clone
+                    .branches
+                    .iter()
+                    .find(|b| b.offset == off)
+                    .map(|b| Prediction {
                         taken: b.pred_taken,
                         target: b.pred_target,
                         source: b.source,
-                    }
-                });
+                    });
                 self.leftover_preds.push_back(p);
             }
             self.switch_to_decoupled(head_clone, amend);
@@ -779,10 +978,22 @@ impl Frontend {
             let fb = entry.branches.iter().find(|b| b.offset == off);
             let (slot, tq) = match fb {
                 Some(b) if b.pred_taken => (
-                    VecSlot { taken: true, branch: true },
-                    Some(TargetSlot { kind: b.kind, target: b.pred_target.unwrap_or(0) }),
+                    VecSlot {
+                        taken: true,
+                        branch: true,
+                    },
+                    Some(TargetSlot {
+                        kind: b.kind,
+                        target: b.pred_target.unwrap_or(0),
+                    }),
                 ),
-                _ => (VecSlot { taken: false, branch: false }, None),
+                _ => (
+                    VecSlot {
+                        taken: false,
+                        branch: false,
+                    },
+                    None,
+                ),
             };
             self.div.record_decoupled(slot, proxy, tq);
         }
@@ -823,7 +1034,12 @@ impl Frontend {
                 let next = self.cpl_next_pc;
                 self.coupled_restart_dcf(next, cycle, 0);
             }
-            Some(Divergence::TrustDcf { fid, pc, dcf_taken, dcf_target }) => {
+            Some(Divergence::TrustDcf {
+                fid,
+                pc,
+                dcf_taken,
+                dcf_target,
+            }) => {
                 // Flush coupled instructions past the divergence point and
                 // restart both engines on the DCF's resolved direction
                 // (gap-free recovery; the DCF pipeline restart costs its
@@ -955,7 +1171,11 @@ impl Frontend {
 
         self.fe_busy = cycle + u64::from(latency.max(1));
         let ready = cycle + u64::from(latency.max(1)) - 1 + u64::from(self.cfg.decode_latency);
-        self.groups.push_back(FetchGroup { insts, ready_at: ready, mode: FetchMode::Decoupled });
+        self.groups.push_back(FetchGroup {
+            insts,
+            ready_at: ready,
+            mode: FetchMode::Decoupled,
+        });
     }
 
     fn fetch_coupled(&mut self, prog: &Program, mem: &mut MemorySystem, cycle: Cycle) {
@@ -969,7 +1189,12 @@ impl Frontend {
         let first_pc = self.coupled_pc;
         let mut insts = self.take_insts();
         for i in 0..width {
-            insts.push(GroupInst { pc: seq_pc(first_pc, i), pred: None, proxy: true, hist: None });
+            insts.push(GroupInst {
+                pc: seq_pc(first_pc, i),
+                pred: None,
+                proxy: true,
+                hist: None,
+            });
         }
         let mut latency = mem.fetch(first_pc, cycle);
         let last_pc = seq_pc(first_pc, width - 1);
@@ -980,7 +1205,11 @@ impl Frontend {
         self.fcc += width as u64;
         self.fe_busy = cycle + u64::from(latency.max(1));
         let ready = cycle + u64::from(latency.max(1)) - 1 + u64::from(self.cfg.decode_latency);
-        self.groups.push_back(FetchGroup { insts, ready_at: ready, mode: FetchMode::Coupled });
+        self.groups.push_back(FetchGroup {
+            insts,
+            ready_at: ready,
+            mode: FetchMode::Coupled,
+        });
         let _ = prog;
     }
 
@@ -992,7 +1221,12 @@ impl Frontend {
         let first_pc = self.coupled_pc;
         let mut insts = self.take_insts();
         for i in 0..width {
-            insts.push(GroupInst { pc: seq_pc(first_pc, i), pred: None, proxy: true, hist: None });
+            insts.push(GroupInst {
+                pc: seq_pc(first_pc, i),
+                pred: None,
+                proxy: true,
+                hist: None,
+            });
         }
         let mut latency = mem.fetch(first_pc, cycle);
         let last_pc = seq_pc(first_pc, width - 1);
@@ -1002,7 +1236,11 @@ impl Frontend {
         self.coupled_pc = seq_pc(first_pc, width);
         self.fe_busy = cycle + u64::from(latency.max(1));
         let ready = cycle + u64::from(latency.max(1)) - 1 + u64::from(self.cfg.decode_latency);
-        self.groups.push_back(FetchGroup { insts, ready_at: ready, mode: FetchMode::Coupled });
+        self.groups.push_back(FetchGroup {
+            insts,
+            ready_at: ready,
+            mode: FetchMode::Coupled,
+        });
     }
 
     // ------------------------------------------------------------------
@@ -1092,6 +1330,7 @@ impl Frontend {
             if pred.taken {
                 if let Some(t) = pred.target {
                     self.stats.decode_resteers += 1;
+                    self.pending_decode_resteer = true;
                     self.resteer_frontend_decode(t, cycle, extra);
                     return;
                 }
@@ -1111,7 +1350,9 @@ impl Frontend {
     ) {
         // invariant: only the ELF architectures ever enqueue groups in
         // coupled mode, so the variant is always present here.
-        let variant = self.elf_variant().expect("coupled groups only exist under ELF");
+        let variant = self
+            .elf_variant()
+            .expect("coupled groups only exist under ELF");
         for gi in &group.insts {
             let sinst = prog.inst_or_nop(gi.pc);
             let Some(kind) = sinst.branch_kind() else {
@@ -1121,7 +1362,10 @@ impl Frontend {
                 self.deliver_one(prog, gi.pc, None, FetchMode::Coupled, cycle, out);
                 self.dcc += 1;
                 self.div.record_coupled(
-                    VecSlot { taken: false, branch: false },
+                    VecSlot {
+                        taken: false,
+                        branch: false,
+                    },
                     self.fid_next,
                     gi.pc,
                     None,
@@ -1143,8 +1387,7 @@ impl Frontend {
                 if pred.taken {
                     // The rest of this group — and any following coupled
                     // groups — are sequential overshoot past a taken branch.
-                    while matches!(self.groups.front(), Some(g) if g.mode == FetchMode::Coupled)
-                    {
+                    while matches!(self.groups.front(), Some(g) if g.mode == FetchMode::Coupled) {
                         // invariant: `matches!` above proved a front exists.
                         let g = self.groups.pop_front().expect("checked above");
                         self.recycle_insts(g.insts);
@@ -1194,6 +1437,7 @@ impl Frontend {
                             );
                             if head_is_proxy {
                                 self.stats.decode_resteers += 1;
+                                self.pending_decode_resteer = true;
                                 self.coupled_restart_dcf(t, cycle, 0);
                             } else {
                                 self.check_divergence(prog, cycle, out);
@@ -1221,11 +1465,23 @@ impl Frontend {
         let kind = prog.inst_or_nop(pc).branch_kind();
         let (slot, tq) = if pred.taken {
             (
-                VecSlot { taken: true, branch: true },
-                kind.map(|k| TargetSlot { kind: k, target: pred.target.unwrap_or(0) }),
+                VecSlot {
+                    taken: true,
+                    branch: true,
+                },
+                kind.map(|k| TargetSlot {
+                    kind: k,
+                    target: pred.target.unwrap_or(0),
+                }),
             )
         } else {
-            (VecSlot { taken: false, branch: false }, None)
+            (
+                VecSlot {
+                    taken: false,
+                    branch: false,
+                },
+                None,
+            )
         };
         self.div.record_coupled(slot, self.fid_next, pc, tq);
     }
@@ -1344,7 +1600,14 @@ impl Frontend {
                 let t = self.ras.pop();
                 // Paper §III-C: resteer for returns stalls one extra cycle
                 // while the DCF RAS is accessed.
-                (Prediction { taken: true, target: t, source: PredSource::Ras }, 1)
+                (
+                    Prediction {
+                        taken: true,
+                        target: t,
+                        source: PredSource::Ras,
+                    },
+                    1,
+                )
             }
             BranchKind::IndirectJump | BranchKind::IndirectCall => {
                 let hist = self.spec_hist;
@@ -1360,7 +1623,14 @@ impl Frontend {
                 if kind == BranchKind::IndirectCall {
                     self.ras.push(pc + INST_BYTES);
                 }
-                (Prediction { taken: true, target: t, source: src }, extra)
+                (
+                    Prediction {
+                        taken: true,
+                        target: t,
+                        source: src,
+                    },
+                    extra,
+                )
             }
         }
     }
@@ -1395,6 +1665,7 @@ impl Frontend {
             self.stats.resteer_latency_sum += cycle.saturating_sub(fc);
             self.stats.resteer_latency_count += 1;
         }
+        self.pending_decode_resteer = false;
         if mode == FetchMode::Coupled && self.arch.has_dcf() {
             self.stats.delivered_coupled += 1;
             self.cpl_next_pc = pred
@@ -1426,6 +1697,7 @@ impl Frontend {
         self.clear_groups();
         self.coupled_pc = target;
         self.fe_busy = self.fe_busy.max(cycle + 1 + u64::from(extra_bubbles));
+        self.pending_decode_resteer = true;
     }
 
     /// Decode-driven front-end resteer after a misfetch (BTB miss). DCF
@@ -1453,7 +1725,11 @@ impl Frontend {
         for off in 0..MAX_BLOCK_INSTS as u8 {
             let inst = prog.inst_or_nop(seq_pc(start, off as usize));
             if let Some(k) = inst.branch_kind() {
-                if !e.add_branch(BtbBranch { offset: off, kind: k, target: inst.target }) {
+                if !e.add_branch(BtbBranch {
+                    offset: off,
+                    kind: k,
+                    target: inst.target,
+                }) {
                     count = off;
                     break;
                 }
@@ -1583,6 +1859,7 @@ impl Frontend {
     pub fn flush(&mut self, ctx: &FlushCtx<'_>, cycle: Cycle) {
         self.stats.backend_resteers += 1;
         self.pending_resteer_cycle = Some(cycle);
+        self.pending_decode_resteer = false;
         self.clear_groups();
         self.faq.flush();
         self.stall = None;
@@ -1636,7 +1913,9 @@ impl Frontend {
     pub fn retire(&mut self, info: &RetireInfo) {
         self.last_retired_fid = info.fid;
         // BTB establishment at retirement.
-        for entry in self.btb_builder.on_retire(info.pc, info.kind, info.taken, info.static_target)
+        for entry in self
+            .btb_builder
+            .on_retire(info.pc, info.kind, info.taken, info.static_target)
         {
             self.btb.install(entry);
         }
@@ -1657,7 +1936,9 @@ impl Frontend {
             BranchKind::CondDirect => {
                 self.tage.train_with_hist(info.pc, info.taken, snapshot);
                 if info.mode == FetchMode::Coupled
-                    && self.elf_variant().is_some_and(ElfVariant::predicts_conditionals)
+                    && self
+                        .elf_variant()
+                        .is_some_and(ElfVariant::predicts_conditionals)
                 {
                     // Coupled predictors train only on coupled-fetched
                     // branches (§IV-D3).
@@ -1668,7 +1949,9 @@ impl Frontend {
                 self.ittage.train_with_hist(info.pc, info.next_pc, snapshot);
                 self.btc.train(info.pc, info.next_pc);
                 if info.mode == FetchMode::Coupled
-                    && self.elf_variant().is_some_and(ElfVariant::predicts_indirects)
+                    && self
+                        .elf_variant()
+                        .is_some_and(ElfVariant::predicts_indirects)
                 {
                     self.cpl_btc.train(info.pc, info.next_pc);
                 }
@@ -1762,6 +2045,7 @@ impl Frontend {
         self.fid_next.save(w);
         self.last_retired_fid.save(w);
         self.pending_resteer_cycle.save(w);
+        self.pending_decode_resteer.save(w);
         self.stats.save(w);
     }
 
@@ -1827,7 +2111,12 @@ impl Frontend {
                 kind: Snap::load(r)?,
                 static_target: Snap::load(r)?,
             }),
-            t => return Err(SnapError::BadTag { what: "stalled branch tag", tag: u64::from(t) }),
+            t => {
+                return Err(SnapError::BadTag {
+                    what: "stalled branch tag",
+                    tag: u64::from(t),
+                })
+            }
         };
         self.fcc = Snap::load(r)?;
         self.dcc = Snap::load(r)?;
@@ -1837,6 +2126,7 @@ impl Frontend {
         self.fid_next = Snap::load(r)?;
         self.last_retired_fid = Snap::load(r)?;
         self.pending_resteer_cycle = Snap::load(r)?;
+        self.pending_decode_resteer = Snap::load(r)?;
         self.stats = Snap::load(r)?;
         Ok(())
     }

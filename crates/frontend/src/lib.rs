@@ -33,6 +33,7 @@ pub mod timing;
 
 pub use config::{CoupledCondKind, ElfVariant, FetchArch, FrontendConfig};
 pub use frontend::{
-    DeliveredInst, DivergenceSquash, FlushCtx, Frontend, RasOp, RetireInfo, TickOutput,
+    DeliveredInst, DivergenceSquash, FetchCycleCause, FetchCycleProbe, FlushCtx, Frontend, RasOp,
+    RetireInfo, TickOutput,
 };
 pub use stats::FrontendStats;

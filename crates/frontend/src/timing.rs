@@ -95,7 +95,13 @@ mod tests {
 
     #[test]
     fn l2_hits_cost_the_full_access() {
-        for exit in [CondBimodal, CondTaggedOverride, DirectUncond, RasReturn, IndirectBtc] {
+        for exit in [
+            CondBimodal,
+            CondTaggedOverride,
+            DirectUncond,
+            RasReturn,
+            IndirectBtc,
+        ] {
             assert_eq!(generation_bubbles(2, exit, IT), 3, "{exit:?}");
         }
     }
@@ -123,8 +129,17 @@ mod tests {
     fn short_entry_fallthrough_pays_the_non_taken_bubble() {
         // §VI-A degradation cause 3: a short entry makes the proxy
         // fall-through address wrong even without a taken branch.
-        assert_eq!(generation_bubbles(0, FallThrough { full_length: false }, IT), 1);
-        assert_eq!(generation_bubbles(1, FallThrough { full_length: false }, IT), 1);
-        assert_eq!(generation_bubbles(2, FallThrough { full_length: false }, IT), 3);
+        assert_eq!(
+            generation_bubbles(0, FallThrough { full_length: false }, IT),
+            1
+        );
+        assert_eq!(
+            generation_bubbles(1, FallThrough { full_length: false }, IT),
+            1
+        );
+        assert_eq!(
+            generation_bubbles(2, FallThrough { full_length: false }, IT),
+            3
+        );
     }
 }

@@ -127,7 +127,10 @@ fn nodcf_follows_a_simple_loop() {
     // The retired stream must be the loop body over and over.
     for w in d.retired.windows(2) {
         let (a, b) = (w[0], w[1]);
-        assert!(b == a + 4 || (a == 0x1_0000 + 48 && b == 0x1_0000), "{a:#x} -> {b:#x}");
+        assert!(
+            b == a + 4 || (a == 0x1_0000 + 48 && b == 0x1_0000),
+            "{a:#x} -> {b:#x}"
+        );
     }
     assert_eq!(d.flushes, 0, "an unconditional loop never mispredicts");
 }
@@ -187,7 +190,10 @@ fn all_architectures_make_forward_progress_on_synthetic_code() {
         FetchArch::Elf(elf_frontend::ElfVariant::U),
     ] {
         let d = run_synthetic(arch, 20_000);
-        assert!(d.retired.len() >= 20_000, "{arch:?} must retire the target count");
+        assert!(
+            d.retired.len() >= 20_000,
+            "{arch:?} must retire the target count"
+        );
     }
 }
 
@@ -236,7 +242,10 @@ fn dcf_streams_proxy_blocks_on_cold_btb() {
         fe.stats().btb_miss_blocks > 0,
         "a cold BTB must generate sequential proxy blocks"
     );
-    assert!(fe.stats().decode_resteers > 0, "the loop jump must misfetch when cold");
+    assert!(
+        fe.stats().decode_resteers > 0,
+        "the loop jump must misfetch when cold"
+    );
 }
 
 #[test]
@@ -258,7 +267,12 @@ fn flush_restores_ras_from_replay() {
 
 #[test]
 fn delivered_instructions_have_monotonic_fids_and_modes() {
-    let spec = ProgramSpec { name: "fid".into(), seed: 3, num_funcs: 10, ..Default::default() };
+    let spec = ProgramSpec {
+        name: "fid".into(),
+        seed: 3,
+        num_funcs: 10,
+        ..Default::default()
+    };
     let prog = synthesize(&spec);
     let mut fe = Frontend::new(
         FrontendConfig::paper(),
@@ -272,7 +286,10 @@ fn delivered_instructions_have_monotonic_fids_and_modes() {
         for d in out.delivered {
             assert!(d.fid > last_fid, "fids must increase monotonically");
             last_fid = d.fid;
-            assert!(matches!(d.inst.mode, FetchMode::Coupled | FetchMode::Decoupled));
+            assert!(matches!(
+                d.inst.mode,
+                FetchMode::Coupled | FetchMode::Decoupled
+            ));
         }
     }
     assert!(last_fid > 0, "nothing was delivered in 2000 cycles");

@@ -21,7 +21,11 @@ fn jump_chain(n_blocks: usize, block_len: usize) -> Program {
             start + block_len as u64 * 4,
             InstClass::Branch(BranchKind::UncondDirect),
         );
-        let next = if b + 1 == n_blocks { base } else { start + total as u64 * 4 };
+        let next = if b + 1 == n_blocks {
+            base
+        } else {
+            start + total as u64 * 4
+        };
         jmp.target = Some(next);
         image.push(jmp);
     }
@@ -74,7 +78,11 @@ fn l0_btb_hits_hide_all_taken_branch_bubbles() {
     fe.reset_stats();
     drive(&mut fe, &prog, &mut mem, &mut clock, 500);
     let s = fe.stats();
-    assert!(s.faq_blocks > 100, "DCF must keep generating: {}", s.faq_blocks);
+    assert!(
+        s.faq_blocks > 100,
+        "DCF must keep generating: {}",
+        s.faq_blocks
+    );
     assert_eq!(
         s.bp_bubbles, 0,
         "warm L0 BTB: taken branches must cost zero BP bubbles"
@@ -171,7 +179,10 @@ fn figure5_walkthrough_coupled_then_resync() {
     }
     assert!(!fe.in_coupled_mode(), "the DCF must catch up and take over");
     let s = fe.stats();
-    assert!(s.delivered_coupled > 0, "coupled mode delivered the early insts");
+    assert!(
+        s.delivered_coupled > 0,
+        "coupled mode delivered the early insts"
+    );
     assert!(
         delivered.iter().any(|&(_, m)| m == FetchMode::Decoupled),
         "stream must continue decoupled after the switch"
@@ -323,7 +334,10 @@ fn stale_btb_direct_target_divergence_trusts_the_fetcher() {
         .windows(2)
         .filter(|w| w[0] == jmp)
         .all(|w| w[1] == true_target);
-    assert!(followed, "every jump delivery must be followed by its true target");
+    assert!(
+        followed,
+        "every jump delivery must be followed by its true target"
+    );
 }
 
 /// Shim so the test body above can name BTB types tersely.
@@ -348,8 +362,7 @@ fn interleaved_l0i_fetches_cross_taken_branches_in_one_cycle() {
         for i in 0..13u64 {
             image.push(StaticInst::simple(start + i * 4, InstClass::Alu));
         }
-        let mut jmp =
-            StaticInst::simple(start + 52, InstClass::Branch(BranchKind::UncondDirect));
+        let mut jmp = StaticInst::simple(start + 52, InstClass::Branch(BranchKind::UncondDirect));
         jmp.target = Some(target);
         image.push(jmp);
     };

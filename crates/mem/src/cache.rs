@@ -165,7 +165,11 @@ impl Cache {
             }
             set.swap_remove(vi);
         }
-        set.push(Line { tag, last_use: tick, dirty: false });
+        set.push(Line {
+            tag,
+            last_use: tick,
+            dirty: false,
+        });
         evicted
     }
 
@@ -310,7 +314,13 @@ mod tests {
 
     #[test]
     fn config_sets_math() {
-        let c = CacheConfig { name: "x", size_bytes: 24 * 1024, ways: 3, line_bytes: 64, latency: 1 };
+        let c = CacheConfig {
+            name: "x",
+            size_bytes: 24 * 1024,
+            ways: 3,
+            line_bytes: 64,
+            latency: 1,
+        };
         assert_eq!(c.sets(), 128);
     }
 

@@ -55,7 +55,12 @@ impl StridePrefetcher {
         let e = &mut self.table[idx];
         let mut out = Vec::new();
         if e.tag != tag {
-            *e = StrideEntry { tag, last_addr: addr, stride: 0, confidence: 0 };
+            *e = StrideEntry {
+                tag,
+                last_addr: addr,
+                stride: 0,
+                confidence: 0,
+            };
             return out;
         }
         let stride = addr as i64 - e.last_addr as i64;

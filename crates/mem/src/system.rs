@@ -29,11 +29,41 @@ impl MemConfig {
     #[must_use]
     pub fn paper() -> Self {
         MemConfig {
-            l0i: CacheConfig { name: "L0I", size_bytes: 24 << 10, ways: 3, line_bytes: 64, latency: 1 },
-            l1i: CacheConfig { name: "L1I", size_bytes: 64 << 10, ways: 8, line_bytes: 64, latency: 3 },
-            l1d: CacheConfig { name: "L1D", size_bytes: 32 << 10, ways: 8, line_bytes: 64, latency: 3 },
-            l2: CacheConfig { name: "L2", size_bytes: 512 << 10, ways: 8, line_bytes: 128, latency: 13 },
-            l3: CacheConfig { name: "L3", size_bytes: 16 << 20, ways: 16, line_bytes: 128, latency: 35 },
+            l0i: CacheConfig {
+                name: "L0I",
+                size_bytes: 24 << 10,
+                ways: 3,
+                line_bytes: 64,
+                latency: 1,
+            },
+            l1i: CacheConfig {
+                name: "L1I",
+                size_bytes: 64 << 10,
+                ways: 8,
+                line_bytes: 64,
+                latency: 3,
+            },
+            l1d: CacheConfig {
+                name: "L1D",
+                size_bytes: 32 << 10,
+                ways: 8,
+                line_bytes: 64,
+                latency: 3,
+            },
+            l2: CacheConfig {
+                name: "L2",
+                size_bytes: 512 << 10,
+                ways: 8,
+                line_bytes: 128,
+                latency: 13,
+            },
+            l3: CacheConfig {
+                name: "L3",
+                size_bytes: 16 << 20,
+                ways: 16,
+                line_bytes: 128,
+                latency: 35,
+            },
             dram_latency: 250,
             ipf_max_inflight: 4,
         }
@@ -71,6 +101,9 @@ pub struct MemStats {
     pub dpf_issued: u64,
     /// Dirty L1D lines written back on eviction.
     pub l1d_writebacks: u64,
+    /// Peak simultaneous in-flight instruction prefetches (MSHR-analogue
+    /// high-water mark; bounded by `MemConfig::ipf_max_inflight`).
+    pub ipf_peak_inflight: u64,
 }
 
 /// The memory system. Shared by the front-end (instruction side, through
@@ -234,6 +267,10 @@ impl MemorySystem {
         self.l3.fill(pc);
         self.ipf_inflight.push_back((pc, now + u64::from(lat)));
         self.stats.ipf_issued += 1;
+        self.stats.ipf_peak_inflight = self
+            .stats
+            .ipf_peak_inflight
+            .max(self.ipf_inflight.len() as u64);
         true
     }
 
@@ -355,6 +392,7 @@ impl elf_types::Snap for MemStats {
         self.ipf_late_hits.save(w);
         self.dpf_issued.save(w);
         self.l1d_writebacks.save(w);
+        self.ipf_peak_inflight.save(w);
     }
     fn load(r: &mut elf_types::SnapReader<'_>) -> Result<Self, elf_types::SnapError> {
         use elf_types::Snap;
@@ -370,6 +408,7 @@ impl elf_types::Snap for MemStats {
             ipf_late_hits: Snap::load(r)?,
             dpf_issued: Snap::load(r)?,
             l1d_writebacks: Snap::load(r)?,
+            ipf_peak_inflight: Snap::load(r)?,
         })
     }
 }
@@ -484,7 +523,10 @@ mod tests {
         for i in 1..=16u64 {
             m.load(0x500, base + i * 4096, 0);
         }
-        assert!(m.stats().l1d_writebacks >= 1, "dirty victim must write back");
+        assert!(
+            m.stats().l1d_writebacks >= 1,
+            "dirty victim must write back"
+        );
     }
 
     #[test]
@@ -498,6 +540,9 @@ mod tests {
         for i in 1..=9u64 {
             m.load(0x999, hot + i * 4096, 0);
         }
-        assert!(m.load(0x400, hot, 0) > 3, "hot line must have been displaced");
+        assert!(
+            m.load(0x400, hot, 0) > 3,
+            "hot line must have been displaced"
+        );
     }
 }

@@ -131,7 +131,10 @@ mod tests {
         }
         let p = b.predict(0x400);
         assert!(p.taken);
-        assert!(p.saturated, "8 consecutive takens must saturate a 3-bit counter");
+        assert!(
+            p.saturated,
+            "8 consecutive takens must saturate a 3-bit counter"
+        );
         for _ in 0..8 {
             b.train(0x400, false);
         }

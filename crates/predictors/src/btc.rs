@@ -27,7 +27,11 @@ impl BranchTargetCache {
         assert!(entries > 0);
         assert!((1..=16).contains(&tag_bits));
         let n = entries.next_power_of_two();
-        BranchTargetCache { entries: vec![None; n], tag_bits, index_mask: n as u64 - 1 }
+        BranchTargetCache {
+            entries: vec![None; n],
+            tag_bits,
+            index_mask: n as u64 - 1,
+        }
     }
 
     /// The Table II geometry: 64 entries, 12-bit tags (0.6 KB).
@@ -138,7 +142,11 @@ mod tests {
         // Same index and same 12-bit tag: differs only above the tag.
         let alias = a + (1 << (2 + 6 + btc_bits));
         btc.train(a, 0x3330);
-        assert_eq!(btc.predict(alias), Some(0x3330), "partial tags alias by design");
+        assert_eq!(
+            btc.predict(alias),
+            Some(0x3330),
+            "partial tags alias by design"
+        );
     }
 
     #[test]

@@ -81,9 +81,7 @@ impl<T> CheckpointQueue<T> {
     /// can the owning instruction trigger an early flush (§IV-D1).
     #[must_use]
     pub fn can_restore(&self, id: CheckpointId) -> bool {
-        self.entries
-            .iter()
-            .any(|(i, p)| *i == id && p.is_some())
+        self.entries.iter().any(|(i, p)| *i == id && p.is_some())
     }
 
     /// Restores to `id`: returns its payload by reference and discards every

@@ -39,7 +39,11 @@ impl Gshare {
         assert!(entries > 0);
         assert!(hist_bits <= 32);
         let n = entries.next_power_of_two();
-        Gshare { ctrs: vec![2; n], hist_bits, index_mask: n as u64 - 1 }
+        Gshare {
+            ctrs: vec![2; n],
+            hist_bits,
+            index_mask: n as u64 - 1,
+        }
     }
 
     fn index(&self, pc: Addr, hist: u64) -> usize {
@@ -51,7 +55,10 @@ impl Gshare {
     #[must_use]
     pub fn predict(&self, pc: Addr, hist: u64) -> GsharePrediction {
         let c = self.ctrs[self.index(pc, hist)];
-        GsharePrediction { taken: c >= 2, saturated: c == 0 || c == 3 }
+        GsharePrediction {
+            taken: c >= 2,
+            saturated: c == 0 || c == 3,
+        }
     }
 
     /// Trains toward the resolved direction under the same history.
@@ -168,7 +175,10 @@ mod tests {
         assert!(p.taken && p.saturated);
         g.train(0x400, 0, false);
         let p = g.predict(0x400, 0);
-        assert!(p.taken && !p.saturated, "one disagreement clears confidence");
+        assert!(
+            p.taken && !p.saturated,
+            "one disagreement clears confidence"
+        );
     }
 
     #[test]

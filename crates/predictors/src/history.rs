@@ -46,7 +46,11 @@ impl HistoryRegister {
         if len == 0 {
             return 0;
         }
-        let mask_bits = if len >= 128 { u128::MAX } else { (1u128 << len) - 1 };
+        let mask_bits = if len >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << len) - 1
+        };
         let mut h = self.bits & mask_bits;
         let mut out: u64 = 0;
         let w = u32::from(width);
@@ -98,7 +102,11 @@ mod tests {
             x
         };
         assert_eq!(a.fold(8, 6), b.fold(8, 6));
-        assert_eq!(a.fold(8, 6), older.fold(8, 6), "bits beyond len must not matter");
+        assert_eq!(
+            a.fold(8, 6),
+            older.fold(8, 6),
+            "bits beyond len must not matter"
+        );
         assert_ne!(a.fold(9, 6), older.fold(9, 6), "bit 9 differs");
     }
 

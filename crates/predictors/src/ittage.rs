@@ -25,13 +25,23 @@ impl IttageConfig {
     /// The Table II configuration: 4 tagged tables, 32 KB class.
     #[must_use]
     pub fn paper() -> Self {
-        IttageConfig { table_bits: 9, tag_bits: 11, hist_lens: vec![8, 24, 64, 128], base_bits: 10 }
+        IttageConfig {
+            table_bits: 9,
+            tag_bits: 11,
+            hist_lens: vec![8, 24, 64, 128],
+            base_bits: 10,
+        }
     }
 
     /// Small configuration for unit tests.
     #[must_use]
     pub fn tiny() -> Self {
-        IttageConfig { table_bits: 6, tag_bits: 9, hist_lens: vec![4, 12, 32], base_bits: 7 }
+        IttageConfig {
+            table_bits: 6,
+            tag_bits: 9,
+            hist_lens: vec![4, 12, 32],
+            base_bits: 7,
+        }
     }
 }
 
@@ -227,8 +237,7 @@ impl Ittage {
     #[must_use]
     pub fn storage_bits(&self) -> usize {
         let per = self.cfg.tag_bits as usize + 48 + 2 + 2;
-        self.tables.len() * (1 << self.cfg.table_bits) * per
-            + (1 << self.cfg.base_bits) * 48
+        self.tables.len() * (1 << self.cfg.table_bits) * per + (1 << self.cfg.base_bits) * 48
     }
 
     /// Serializes all mutable state (base table, tagged tables, histories,
@@ -300,12 +309,7 @@ impl Ittage {
 mod tests {
     use super::*;
 
-    fn run(
-        it: &mut Ittage,
-        pc: Addr,
-        targets: impl Iterator<Item = Addr>,
-        warmup: usize,
-    ) -> f64 {
+    fn run(it: &mut Ittage, pc: Addr, targets: impl Iterator<Item = Addr>, warmup: usize) -> f64 {
         let mut miss = 0u64;
         let mut total = 0u64;
         for (i, t) in targets.enumerate() {

@@ -32,9 +32,9 @@ pub mod ras;
 pub mod tage;
 
 pub use bimodal::Bimodal;
+pub use btc::BranchTargetCache;
 pub use checkpoint::{CheckpointId, CheckpointQueue};
 pub use gshare::Gshare;
-pub use btc::BranchTargetCache;
 pub use history::HistoryRegister;
 pub use ittage::Ittage;
 pub use ras::Ras;

@@ -20,7 +20,11 @@ pub struct Ras {
 
 impl Clone for Ras {
     fn clone(&self) -> Self {
-        Ras { slots: self.slots.clone(), tos: self.tos, live: self.live }
+        Ras {
+            slots: self.slots.clone(),
+            tos: self.tos,
+            live: self.live,
+        }
     }
 
     /// In-place copy reusing `self`'s slot allocation — flush-path RAS
@@ -42,7 +46,11 @@ impl Ras {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        Ras { slots: vec![0; capacity], tos: 0, live: 0 }
+        Ras {
+            slots: vec![0; capacity],
+            tos: 0,
+            live: 0,
+        }
     }
 
     /// The Table II geometry (32 entries, 0.25 KB).

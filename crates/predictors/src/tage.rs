@@ -58,9 +58,8 @@ impl TageConfig {
     /// Approximate storage in bits (tagged entries: ctr 3 + tag + u 2).
     #[must_use]
     pub fn storage_bits(&self) -> usize {
-        let tagged = self.hist_lens.len()
-            * (1usize << self.table_bits)
-            * (3 + self.tag_bits as usize + 2);
+        let tagged =
+            self.hist_lens.len() * (1usize << self.table_bits) * (3 + self.tag_bits as usize + 2);
         let base = (1usize << self.base_bits) * 2;
         tagged + base
     }
@@ -140,8 +139,8 @@ impl Tage {
     fn index(&self, pc: Addr, t: usize, hist: &HistoryRegister) -> usize {
         let folded = hist.fold(self.cfg.hist_lens[t], self.cfg.table_bits);
         let mask = (1u64 << self.cfg.table_bits) - 1;
-        (((pc >> 2) ^ (pc >> (self.cfg.table_bits as u64 + 2)) ^ folded ^ (t as u64) << 3)
-            & mask) as usize
+        (((pc >> 2) ^ (pc >> (self.cfg.table_bits as u64 + 2)) ^ folded ^ (t as u64) << 3) & mask)
+            as usize
     }
 
     fn tag(&self, pc: Addr, t: usize, hist: &HistoryRegister) -> u16 {
@@ -241,7 +240,11 @@ impl Tage {
                 // alternate prediction and was right (aged when wrong).
                 let alt = self.alt_pred(pc, t, &hist);
                 let e = &mut self.tables[t][i];
-                e.ctr = if taken { (e.ctr + 1).min(3) } else { (e.ctr - 1).max(-4) };
+                e.ctr = if taken {
+                    (e.ctr + 1).min(3)
+                } else {
+                    (e.ctr - 1).max(-4)
+                };
                 if pred.taken != alt {
                     if pred.taken == taken {
                         e.u = (e.u + 1).min(3);
@@ -354,7 +357,10 @@ impl Tage {
         for t in &mut self.tables {
             let n = r.u64("tage table size")? as usize;
             if n != t.len() {
-                return Err(SnapError::mismatch(format!("tage table size {n} != {}", t.len())));
+                return Err(SnapError::mismatch(format!(
+                    "tage table size {n} != {}",
+                    t.len()
+                )));
             }
             for e in t.iter_mut() {
                 e.tag = Snap::load(r)?;
@@ -457,12 +463,17 @@ mod tests {
         let mut x: u64 = 99;
         let outcomes: Vec<bool> = (0..8000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) % 100 < 25
             })
             .collect();
         let rate = run_stream(&mut tage, 0x5000, outcomes.into_iter());
-        assert!(rate > 0.15 && rate < 0.40, "Bernoulli(0.25) miss rate {rate}");
+        assert!(
+            rate > 0.15 && rate < 0.40,
+            "Bernoulli(0.25) miss rate {rate}"
+        );
     }
 
     #[test]
@@ -475,7 +486,11 @@ mod tests {
         tage.spec_push(true);
         tage.spec_push(true);
         tage.spec_set(saved);
-        assert_eq!(tage.predict(0x6000), before, "restore must reproduce predictions");
+        assert_eq!(
+            tage.predict(0x6000),
+            before,
+            "restore must reproduce predictions"
+        );
     }
 
     #[test]

@@ -227,19 +227,28 @@ impl AddrModel {
         let n = state.count;
         state.count += 1;
         match *self {
-            AddrModel::Stride { base, stride, footprint } => {
-                base + (n * stride) % footprint.max(stride.max(1))
-            }
+            AddrModel::Stride {
+                base,
+                stride,
+                footprint,
+            } => base + (n * stride) % footprint.max(stride.max(1)),
             AddrModel::Random { base, footprint } => {
                 base + (rng.gen_range(0..footprint.max(8)) & !7)
             }
             AddrModel::Chase { base, footprint } => {
                 let lines = (footprint / 64).max(1);
-                state.pos = (state.pos.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1))
+                state.pos = (state
+                    .pos
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1))
                     % lines;
                 base + state.pos * 64
             }
-            AddrModel::SharedSlot { pair, base, footprint } => {
+            AddrModel::SharedSlot {
+                pair,
+                base,
+                footprint,
+            } => {
                 let slot = &mut slots[pair as usize];
                 if is_store {
                     *slot = base + (n * 64) % footprint.max(64);
@@ -293,11 +302,26 @@ mod snap_impls {
         fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
             Ok(match r.u8("direction model")? {
                 0 => DirectionModel::AlwaysTaken,
-                1 => DirectionModel::Bernoulli { p_taken: Snap::load(r)? },
-                2 => DirectionModel::Pattern { bits: Snap::load(r)?, len: Snap::load(r)? },
-                3 => DirectionModel::LoopExit { trip: Snap::load(r)? },
-                4 => DirectionModel::HistoryXor { taps: Snap::load(r)?, noise: Snap::load(r)? },
-                t => return Err(SnapError::BadTag { what: "direction model", tag: u64::from(t) }),
+                1 => DirectionModel::Bernoulli {
+                    p_taken: Snap::load(r)?,
+                },
+                2 => DirectionModel::Pattern {
+                    bits: Snap::load(r)?,
+                    len: Snap::load(r)?,
+                },
+                3 => DirectionModel::LoopExit {
+                    trip: Snap::load(r)?,
+                },
+                4 => DirectionModel::HistoryXor {
+                    taps: Snap::load(r)?,
+                    noise: Snap::load(r)?,
+                },
+                t => {
+                    return Err(SnapError::BadTag {
+                        what: "direction model",
+                        tag: u64::from(t),
+                    })
+                }
             })
         }
     }
@@ -326,11 +350,25 @@ mod snap_impls {
         }
         fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
             Ok(match r.u8("target model")? {
-                0 => TargetModel::Mono { target: Snap::load(r)? },
-                1 => TargetModel::RoundRobin { targets: Snap::load(r)? },
-                2 => TargetModel::HistoryHash { targets: Snap::load(r)?, taps: Snap::load(r)? },
-                3 => TargetModel::Random { targets: Snap::load(r)? },
-                t => return Err(SnapError::BadTag { what: "target model", tag: u64::from(t) }),
+                0 => TargetModel::Mono {
+                    target: Snap::load(r)?,
+                },
+                1 => TargetModel::RoundRobin {
+                    targets: Snap::load(r)?,
+                },
+                2 => TargetModel::HistoryHash {
+                    targets: Snap::load(r)?,
+                    taps: Snap::load(r)?,
+                },
+                3 => TargetModel::Random {
+                    targets: Snap::load(r)?,
+                },
+                t => {
+                    return Err(SnapError::BadTag {
+                        what: "target model",
+                        tag: u64::from(t),
+                    })
+                }
             })
         }
     }
@@ -338,7 +376,11 @@ mod snap_impls {
     impl Snap for AddrModel {
         fn save(&self, w: &mut SnapWriter) {
             match *self {
-                AddrModel::Stride { base, stride, footprint } => {
+                AddrModel::Stride {
+                    base,
+                    stride,
+                    footprint,
+                } => {
                     w.u8(0);
                     base.save(w);
                     stride.save(w);
@@ -354,7 +396,11 @@ mod snap_impls {
                     base.save(w);
                     footprint.save(w);
                 }
-                AddrModel::SharedSlot { pair, base, footprint } => {
+                AddrModel::SharedSlot {
+                    pair,
+                    base,
+                    footprint,
+                } => {
                     w.u8(3);
                     pair.save(w);
                     base.save(w);
@@ -369,14 +415,25 @@ mod snap_impls {
                     stride: Snap::load(r)?,
                     footprint: Snap::load(r)?,
                 },
-                1 => AddrModel::Random { base: Snap::load(r)?, footprint: Snap::load(r)? },
-                2 => AddrModel::Chase { base: Snap::load(r)?, footprint: Snap::load(r)? },
+                1 => AddrModel::Random {
+                    base: Snap::load(r)?,
+                    footprint: Snap::load(r)?,
+                },
+                2 => AddrModel::Chase {
+                    base: Snap::load(r)?,
+                    footprint: Snap::load(r)?,
+                },
                 3 => AddrModel::SharedSlot {
                     pair: Snap::load(r)?,
                     base: Snap::load(r)?,
                     footprint: Snap::load(r)?,
                 },
-                t => return Err(SnapError::BadTag { what: "addr model", tag: u64::from(t) }),
+                t => {
+                    return Err(SnapError::BadTag {
+                        what: "addr model",
+                        tag: u64::from(t),
+                    })
+                }
             })
         }
     }
@@ -403,7 +460,12 @@ mod snap_impls {
                 0 => Behavior::Dir(Snap::load(r)?),
                 1 => Behavior::Target(Snap::load(r)?),
                 2 => Behavior::Mem(Snap::load(r)?),
-                t => return Err(SnapError::BadTag { what: "behavior", tag: u64::from(t) }),
+                t => {
+                    return Err(SnapError::BadTag {
+                        what: "behavior",
+                        tag: u64::from(t),
+                    })
+                }
             })
         }
     }
@@ -413,7 +475,9 @@ mod snap_impls {
             self.count.save(w);
         }
         fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
-            Ok(DirState { count: Snap::load(r)? })
+            Ok(DirState {
+                count: Snap::load(r)?,
+            })
         }
     }
 
@@ -422,7 +486,9 @@ mod snap_impls {
             self.count.save(w);
         }
         fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
-            Ok(TgtState { count: Snap::load(r)? })
+            Ok(TgtState {
+                count: Snap::load(r)?,
+            })
         }
     }
 
@@ -432,7 +498,10 @@ mod snap_impls {
             self.pos.save(w);
         }
         fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
-            Ok(MemState { count: Snap::load(r)?, pos: Snap::load(r)? })
+            Ok(MemState {
+                count: Snap::load(r)?,
+                pos: Snap::load(r)?,
+            })
         }
     }
 }
@@ -449,7 +518,10 @@ mod tests {
 
     #[test]
     fn pattern_repeats_with_period() {
-        let m = DirectionModel::Pattern { bits: 0b0110, len: 4 };
+        let m = DirectionModel::Pattern {
+            bits: 0b0110,
+            len: 4,
+        };
         let mut s = DirState::default();
         let mut r = rng();
         let outs: Vec<bool> = (0..12).map(|_| m.next(&mut s, 0, &mut r)).collect();
@@ -469,7 +541,10 @@ mod tests {
 
     #[test]
     fn history_xor_is_deterministic_function_of_history_when_noiseless() {
-        let m = DirectionModel::HistoryXor { taps: [1, 3, 0], noise: 0.0 };
+        let m = DirectionModel::HistoryXor {
+            taps: [1, 3, 0],
+            noise: 0.0,
+        };
         let mut s = DirState::default();
         let mut r = rng();
         // ghist = 0b101: bit1 (dist 1) = 1, bit3 (dist 3) = 1 -> xor = false.
@@ -490,7 +565,9 @@ mod tests {
 
     #[test]
     fn round_robin_cycles_targets() {
-        let m = TargetModel::RoundRobin { targets: vec![0x10, 0x20, 0x30] };
+        let m = TargetModel::RoundRobin {
+            targets: vec![0x10, 0x20, 0x30],
+        };
         let mut s = TgtState::default();
         let mut r = rng();
         let seq: Vec<Addr> = (0..6).map(|_| m.next(&mut s, 0, &mut r)).collect();
@@ -508,7 +585,10 @@ mod tests {
 
     #[test]
     fn history_hash_depends_only_on_history() {
-        let m = TargetModel::HistoryHash { targets: vec![1, 2, 3, 4], taps: [1, 2, 3] };
+        let m = TargetModel::HistoryHash {
+            targets: vec![1, 2, 3, 4],
+            taps: [1, 2, 3],
+        };
         let mut s = TgtState::default();
         let mut r = rng();
         let a = m.next(&mut s, 0b011, &mut r);
@@ -523,18 +603,26 @@ mod tests {
 
     #[test]
     fn stride_wraps_within_footprint() {
-        let m = AddrModel::Stride { base: 0x1000, stride: 64, footprint: 256 };
+        let m = AddrModel::Stride {
+            base: 0x1000,
+            stride: 64,
+            footprint: 256,
+        };
         let mut s = MemState::default();
         let mut r = rng();
         let mut slots = [];
-        let addrs: Vec<Addr> =
-            (0..6).map(|_| m.next(&mut s, &mut slots, false, &mut r)).collect();
+        let addrs: Vec<Addr> = (0..6)
+            .map(|_| m.next(&mut s, &mut slots, false, &mut r))
+            .collect();
         assert_eq!(addrs, [0x1000, 0x1040, 0x1080, 0x10c0, 0x1000, 0x1040]);
     }
 
     #[test]
     fn random_addresses_stay_in_region() {
-        let m = AddrModel::Random { base: 0x8000, footprint: 4096 };
+        let m = AddrModel::Random {
+            base: 0x8000,
+            footprint: 4096,
+        };
         let mut s = MemState::default();
         let mut r = rng();
         let mut slots = [];
@@ -546,7 +634,11 @@ mod tests {
 
     #[test]
     fn shared_slot_load_reads_last_store_address() {
-        let m = AddrModel::SharedSlot { pair: 0, base: 0x4000, footprint: 1 << 20 };
+        let m = AddrModel::SharedSlot {
+            pair: 0,
+            base: 0x4000,
+            footprint: 1 << 20,
+        };
         let mut st_s = MemState::default();
         let mut ld_s = MemState::default();
         let mut r = rng();
@@ -560,7 +652,10 @@ mod tests {
 
     #[test]
     fn chase_stays_in_region_and_revisits_lines() {
-        let m = AddrModel::Chase { base: 0, footprint: 64 * 16 };
+        let m = AddrModel::Chase {
+            base: 0,
+            footprint: 64 * 16,
+        };
         let mut s = MemState::default();
         let mut r = rng();
         let mut slots = [];

@@ -75,7 +75,11 @@ pub fn to_dot(prog: &Program, max_blocks: usize) -> String {
                 let lbl = if k.is_call() { "call" } else { "jmp" };
                 let _ = writeln!(out, "  b{leader:x} -> b{t:x} [label=\"{lbl}\"];");
                 if k.is_call() {
-                    let _ = writeln!(out, "  b{leader:x} -> b{:x} [label=\"ret-to\", style=dashed];", end + 4);
+                    let _ = writeln!(
+                        out,
+                        "  b{leader:x} -> b{:x} [label=\"ret-to\", style=dashed];",
+                        end + 4
+                    );
                 }
             }
             Some((BranchKind::Return, _)) => {
@@ -85,7 +89,10 @@ pub fn to_dot(prog: &Program, max_blocks: usize) -> String {
                 if let Some(inst) = prog.inst_at(end) {
                     if let crate::behavior::Behavior::Target(m) = prog.behavior(inst.behavior) {
                         for &t in m.targets() {
-                            let _ = writeln!(out, "  b{leader:x} -> b{t:x} [label=\"ind\", style=dashed];");
+                            let _ = writeln!(
+                                out,
+                                "  b{leader:x} -> b{t:x} [label=\"ind\", style=dashed];"
+                            );
                         }
                     }
                 }
@@ -107,7 +114,11 @@ mod tests {
 
     #[test]
     fn dot_export_is_well_formed() {
-        let spec = ProgramSpec { name: "dot".into(), num_funcs: 6, ..Default::default() };
+        let spec = ProgramSpec {
+            name: "dot".into(),
+            num_funcs: 6,
+            ..Default::default()
+        };
         let prog = synthesize(&spec);
         let dot = to_dot(&prog, 100);
         assert!(dot.starts_with("digraph program {"));
@@ -124,7 +135,11 @@ mod tests {
 
     #[test]
     fn block_budget_is_respected() {
-        let spec = ProgramSpec { name: "dot2".into(), num_funcs: 30, ..Default::default() };
+        let spec = ProgramSpec {
+            name: "dot2".into(),
+            num_funcs: 30,
+            ..Default::default()
+        };
         let prog = synthesize(&spec);
         let dot = to_dot(&prog, 5);
         let nodes = dot.lines().filter(|l| l.contains("[label=\"0x")).count();

@@ -26,7 +26,7 @@ pub mod validate;
 pub mod workloads;
 
 pub use oracle::{DynInst, DynProfile, Oracle};
-pub use simpoint::SimPoint;
 pub use program::Program;
+pub use simpoint::SimPoint;
 pub use synth::{synthesize, ProgramSpec};
 pub use workloads::{Suite, Workload};

@@ -231,7 +231,13 @@ impl Oracle {
         }
 
         self.pc = next;
-        DynInst { seq, pc, taken, next_pc: next, mem_addr }
+        DynInst {
+            seq,
+            pc,
+            taken,
+            next_pc: next,
+            mem_addr,
+        }
     }
 
     fn push_return(&mut self, ra: Addr) {
@@ -383,7 +389,10 @@ mod tests {
     }
 
     fn default_spec(name: &str) -> ProgramSpec {
-        ProgramSpec { name: name.into(), ..ProgramSpec::default() }
+        ProgramSpec {
+            name: name.into(),
+            ..ProgramSpec::default()
+        }
     }
 
     #[test]
@@ -433,9 +442,7 @@ mod tests {
                 if k.is_unconditional() {
                     assert!(e.taken);
                 }
-                if k == elf_types::BranchKind::UncondDirect
-                    || k == elf_types::BranchKind::Call
-                {
+                if k == elf_types::BranchKind::UncondDirect || k == elf_types::BranchKind::Call {
                     assert_eq!(e.next_pc, i.target.unwrap());
                 }
             }
@@ -496,7 +503,10 @@ mod tests {
     #[test]
     fn recursion_produces_deep_call_stacks_and_return_bursts() {
         let mut spec = ProgramSpec {
-            recursion: Some(RecursionSpec { funcs: 3, depth: (12, 20) }),
+            recursion: Some(RecursionSpec {
+                funcs: 3,
+                depth: (12, 20),
+            }),
             call_prob: 0.35,
             insts_per_block: (2, 6),
             ..default_spec("rec")
@@ -516,12 +526,20 @@ mod tests {
     #[test]
     fn profile_footprint_tracks_num_funcs() {
         let small = {
-            let s = ProgramSpec { num_funcs: 30, zipf_theta: 1.2, ..default_spec("s") };
+            let s = ProgramSpec {
+                num_funcs: 30,
+                zipf_theta: 1.2,
+                ..default_spec("s")
+            };
             let mut o = oracle(&s);
             DynProfile::collect(&mut o, 0, 150_000).code_footprint_bytes()
         };
         let big = {
-            let s = ProgramSpec { num_funcs: 2000, zipf_theta: 0.05, ..default_spec("b") };
+            let s = ProgramSpec {
+                num_funcs: 2000,
+                zipf_theta: 0.05,
+                ..default_spec("b")
+            };
             let mut o = oracle(&s);
             DynProfile::collect(&mut o, 0, 150_000).code_footprint_bytes()
         };

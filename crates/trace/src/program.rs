@@ -51,8 +51,18 @@ impl Program {
                 "instruction {i} pc does not match its layout position"
             );
         }
-        let p = Program { name: name.into(), base, entry, image, behaviors, alias_slots };
-        assert!(p.inst_at(entry).is_some(), "entry point {entry:#x} outside image");
+        let p = Program {
+            name: name.into(),
+            base,
+            entry,
+            image,
+            behaviors,
+            alias_slots,
+        };
+        assert!(
+            p.inst_at(entry).is_some(),
+            "entry point {entry:#x} outside image"
+        );
         p
     }
 
@@ -183,7 +193,9 @@ mod snap_impls {
             }
             let end = base + image.len() as u64 * INST_BYTES;
             if entry < base || entry >= end || !entry.is_multiple_of(INST_BYTES) {
-                return Err(SnapError::mismatch(format!("entry {entry:#x} outside image")));
+                return Err(SnapError::mismatch(format!(
+                    "entry {entry:#x} outside image"
+                )));
             }
             for inst in &image {
                 if inst.behavior != elf_types::inst::NO_BEHAVIOR
@@ -195,7 +207,14 @@ mod snap_impls {
                     )));
                 }
             }
-            Ok(Program { name, base, entry, image, behaviors, alias_slots })
+            Ok(Program {
+                name,
+                base,
+                entry,
+                image,
+                behaviors,
+                alias_slots,
+            })
         }
     }
 }

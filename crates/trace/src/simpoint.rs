@@ -91,8 +91,14 @@ pub fn select_from(
             .iter()
             .enumerate()
             .max_by(|(_, a), (_, b)| {
-                let da: f64 = centroids.iter().map(|c| dist2(a, c)).fold(f64::MAX, f64::min);
-                let db: f64 = centroids.iter().map(|c| dist2(b, c)).fold(f64::MAX, f64::min);
+                let da: f64 = centroids
+                    .iter()
+                    .map(|c| dist2(a, c))
+                    .fold(f64::MAX, f64::min);
+                let db: f64 = centroids
+                    .iter()
+                    .map(|c| dist2(b, c))
+                    .fold(f64::MAX, f64::min);
                 da.partial_cmp(&db).expect("distances are finite")
             })
             .map(|(i, _)| i)
@@ -140,8 +146,7 @@ pub fn select_from(
     // Pick the member closest to each non-empty centroid.
     let mut points = Vec::new();
     for (c, centroid) in centroids.iter().enumerate() {
-        let members: Vec<usize> =
-            (0..vectors.len()).filter(|&i| assign[i] == c).collect();
+        let members: Vec<usize> = (0..vectors.len()).filter(|&i| assign[i] == c).collect();
         if members.is_empty() {
             continue;
         }

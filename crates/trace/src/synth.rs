@@ -289,7 +289,9 @@ pub fn synthesize(spec: &ProgramSpec) -> Program {
 
     // Which functions are recursive / alias-store functions.
     let rec_funcs: Vec<usize> = match &spec.recursion {
-        Some(r) => (0..r.funcs.min(num_funcs - 1)).map(|i| 1 + i * (num_funcs - 1).max(1) / r.funcs.max(1)).collect(),
+        Some(r) => (0..r.funcs.min(num_funcs - 1))
+            .map(|i| 1 + i * (num_funcs - 1).max(1) / r.funcs.max(1))
+            .collect(),
         None => Vec::new(),
     };
     let alias_funcs: Vec<usize> = (0..spec.mem.alias_pairs.min(num_funcs - 1))
@@ -350,12 +352,20 @@ pub fn synthesize(spec: &ProgramSpec) -> Program {
                     TermKind::FallThrough
                 }
             };
-            let skel = BlockSkel { start: cursor, body, term };
+            let skel = BlockSkel {
+                start: cursor,
+                body,
+                term,
+            };
             cursor += skel.len_insts() as u64 * INST_BYTES;
             blocks.push(skel);
         }
         let alias_pair = alias_funcs.iter().position(|&af| af == f).map(|i| i as u32);
-        funcs.push(FuncSkel { entry: blocks[0].start, blocks, alias_pair });
+        funcs.push(FuncSkel {
+            entry: blocks[0].start,
+            blocks,
+            alias_pair,
+        });
     }
 
     // ---- Pass 2: instruction fill ----
@@ -375,8 +385,7 @@ pub fn synthesize(spec: &ProgramSpec) -> Program {
                 fclone.alias_pair.is_some() && b == fclone.blocks.len() - 1;
             for i in 0..blk.body {
                 let pc = blk.start + i as u64 * INST_BYTES;
-                let force_store =
-                    is_last_body_of_alias_func && i == blk.body - 1;
+                let force_store = is_last_body_of_alias_func && i == blk.body - 1;
                 let mut inst = gen_body_inst(
                     spec,
                     &mut rng,
@@ -407,8 +416,7 @@ pub fn synthesize(spec: &ProgramSpec) -> Program {
             match blk.term {
                 TermKind::FallThrough => {}
                 TermKind::Call { callee } => {
-                    let mut inst =
-                        StaticInst::simple(term_pc, InstClass::Branch(BranchKind::Call));
+                    let mut inst = StaticInst::simple(term_pc, InstClass::Branch(BranchKind::Call));
                     inst.target = Some(funcs[callee].entry);
                     image.push(inst);
                     if let Some(pair) = funcs[callee].alias_pair {
@@ -436,8 +444,7 @@ pub fn synthesize(spec: &ProgramSpec) -> Program {
                     ));
                 }
                 TermKind::Cond => {
-                    let (model, target) =
-                        gen_cond(spec, &mut rng, &fclone.blocks, b, term_pc);
+                    let (model, target) = gen_cond(spec, &mut rng, &fclone.blocks, b, term_pc);
                     let mut inst =
                         StaticInst::simple(term_pc, InstClass::Branch(BranchKind::CondDirect));
                     inst.target = Some(target);
@@ -484,8 +491,7 @@ pub fn synthesize(spec: &ProgramSpec) -> Program {
                         }),
                     );
                     image.push(guard);
-                    let mut call =
-                        StaticInst::simple(call_pc, InstClass::Branch(BranchKind::Call));
+                    let mut call = StaticInst::simple(call_pc, InstClass::Branch(BranchKind::Call));
                     call.target = Some(fclone.entry);
                     image.push(call);
                 }
@@ -584,9 +590,15 @@ fn gen_body_inst(
                     footprint: (fp / 4).max(4096),
                 }
             } else if r < spec.mem.frac_stride + spec.mem.frac_random {
-                AddrModel::Random { base: DATA_BASE, footprint: fp }
+                AddrModel::Random {
+                    base: DATA_BASE,
+                    footprint: fp,
+                }
             } else {
-                AddrModel::Chase { base: DATA_BASE + ((fp / 2) & !63), footprint: (fp / 2).max(4096) }
+                AddrModel::Chase {
+                    base: DATA_BASE + ((fp / 2) & !63),
+                    footprint: (fp / 2).max(4096),
+                }
             }
         };
         inst.behavior = push_behavior(behaviors, Behavior::Mem(model));
@@ -621,13 +633,15 @@ fn gen_cond(
         let max_skip = (blocks.len() - 1 - b).clamp(1, 3);
         let tgt = blocks[b + rng.gen_range(1..=max_skip)].start;
         let model = if r < c.frac_loop + c.frac_biased {
-            let p = rng.gen_range(c.biased_p.0.min(c.biased_p.1)
-                ..=c.biased_p.1.max(c.biased_p.0));
+            let p = rng.gen_range(c.biased_p.0.min(c.biased_p.1)..=c.biased_p.1.max(c.biased_p.0));
             let p_taken = if rng.gen_bool(0.5) { p } else { 1.0 - p };
             DirectionModel::Bernoulli { p_taken }
         } else if r < c.frac_loop + c.frac_biased + c.frac_pattern {
             let len = rng.gen_range(3u8..=12);
-            DirectionModel::Pattern { bits: rng.gen::<u64>(), len }
+            DirectionModel::Pattern {
+                bits: rng.gen::<u64>(),
+                len,
+            }
         } else if r < c.frac_loop + c.frac_biased + c.frac_pattern + c.frac_history {
             // Short taps keep the correlated context low-entropy enough for
             // a global-history predictor to capture.
@@ -636,8 +650,9 @@ fn gen_cond(
                 noise: c.history_noise,
             }
         } else {
-            let p = rng.gen_range(c.bernoulli_p.0.min(c.bernoulli_p.1)
-                ..=c.bernoulli_p.1.max(c.bernoulli_p.0));
+            let p = rng.gen_range(
+                c.bernoulli_p.0.min(c.bernoulli_p.1)..=c.bernoulli_p.1.max(c.bernoulli_p.0),
+            );
             DirectionModel::Bernoulli { p_taken: p }
         };
         let _ = term_pc;
@@ -669,7 +684,11 @@ fn gen_indirect(
     } else if r < p.frac_mono + p.frac_round_robin + p.frac_history {
         TargetModel::HistoryHash {
             targets,
-            taps: [rng.gen_range(1..=6), rng.gen_range(7..=12), rng.gen_range(13..=16)],
+            taps: [
+                rng.gen_range(1..=6),
+                rng.gen_range(7..=12),
+                rng.gen_range(13..=16),
+            ],
         }
     } else {
         TargetModel::Random { targets }
@@ -682,7 +701,10 @@ mod tests {
     use elf_types::BranchKind;
 
     fn spec(name: &str) -> ProgramSpec {
-        ProgramSpec { name: name.into(), ..ProgramSpec::default() }
+        ProgramSpec {
+            name: name.into(),
+            ..ProgramSpec::default()
+        }
     }
 
     #[test]
@@ -697,9 +719,11 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = synthesize(&spec("a"));
-        let b = synthesize(&ProgramSpec { seed: 99, ..spec("a") });
-        let same = a.len_insts() == b.len_insts()
-            && a.iter().zip(b.iter()).all(|(x, y)| x == y);
+        let b = synthesize(&ProgramSpec {
+            seed: 99,
+            ..spec("a")
+        });
+        let same = a.len_insts() == b.len_insts() && a.iter().zip(b.iter()).all(|(x, y)| x == y);
         assert!(!same);
     }
 
@@ -721,7 +745,10 @@ mod tests {
     fn all_indirect_target_sets_are_inside_the_image() {
         let p = synthesize(&spec("t"));
         for inst in p.iter() {
-            if inst.branch_kind().is_some_and(|k| k.is_indirect() && !k.is_return()) {
+            if inst
+                .branch_kind()
+                .is_some_and(|k| k.is_indirect() && !k.is_return())
+            {
                 let Behavior::Target(m) = p.behavior(inst.behavior) else {
                     panic!("indirect without target model at {:#x}", inst.pc);
                 };
@@ -734,7 +761,10 @@ mod tests {
 
     #[test]
     fn branch_mix_roughly_matches_spec() {
-        let s = ProgramSpec { num_funcs: 400, ..spec("mix") };
+        let s = ProgramSpec {
+            num_funcs: 400,
+            ..spec("mix")
+        };
         let p = synthesize(&s);
         let n = p.len_insts() as f64;
         let conds = p.count_matching(|i| i.branch_kind() == Some(BranchKind::CondDirect)) as f64;
@@ -748,15 +778,24 @@ mod tests {
 
     #[test]
     fn footprint_scales_with_num_funcs() {
-        let small = synthesize(&ProgramSpec { num_funcs: 50, ..spec("s") });
-        let big = synthesize(&ProgramSpec { num_funcs: 1000, ..spec("s") });
+        let small = synthesize(&ProgramSpec {
+            num_funcs: 50,
+            ..spec("s")
+        });
+        let big = synthesize(&ProgramSpec {
+            num_funcs: 1000,
+            ..spec("s")
+        });
         assert!(big.code_bytes() > 10 * small.code_bytes());
     }
 
     #[test]
     fn recursive_spec_creates_self_calls() {
         let s = ProgramSpec {
-            recursion: Some(RecursionSpec { funcs: 4, depth: (8, 16) }),
+            recursion: Some(RecursionSpec {
+                funcs: 4,
+                depth: (8, 16),
+            }),
             ..spec("rec")
         };
         let p = synthesize(&s);
@@ -770,7 +809,10 @@ mod tests {
     #[test]
     fn alias_pairs_create_shared_slot_behaviors() {
         let s = ProgramSpec {
-            mem: MemProfile { alias_pairs: 3, ..MemProfile::default() },
+            mem: MemProfile {
+                alias_pairs: 3,
+                ..MemProfile::default()
+            },
             num_funcs: 60,
             call_prob: 0.3,
             ..spec("alias")
@@ -781,7 +823,10 @@ mod tests {
             .iter()
             .filter(|b| matches!(b, Behavior::Mem(AddrModel::SharedSlot { .. })))
             .count();
-        assert!(shared >= 3, "expected store+load shared-slot behaviors, got {shared}");
+        assert!(
+            shared >= 3,
+            "expected store+load shared-slot behaviors, got {shared}"
+        );
         assert_eq!(p.alias_slots(), 3);
     }
 

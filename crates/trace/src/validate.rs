@@ -68,7 +68,10 @@ pub fn validate(prog: &Program) -> Vec<ProgramIssue> {
                 match inst.target {
                     None => issues.push(ProgramIssue::MissingDirectTarget { pc: inst.pc }),
                     Some(t) if prog.inst_at(t).is_none() => {
-                        issues.push(ProgramIssue::TargetOutsideImage { pc: inst.pc, target: t });
+                        issues.push(ProgramIssue::TargetOutsideImage {
+                            pc: inst.pc,
+                            target: t,
+                        });
                     }
                     Some(_) => {}
                 }
@@ -124,7 +127,12 @@ mod tests {
         for w in workloads::all() {
             let prog = synthesize(&w.spec);
             let issues = validate(&prog);
-            assert!(issues.is_empty(), "{}: {:?}", w.name, &issues[..issues.len().min(3)]);
+            assert!(
+                issues.is_empty(),
+                "{}: {:?}",
+                w.name,
+                &issues[..issues.len().min(3)]
+            );
         }
     }
 
@@ -136,7 +144,10 @@ mod tests {
         let prog = Program::new("bad", base, base, vec![jmp], Vec::new(), 0);
         assert_eq!(
             validate(&prog),
-            vec![ProgramIssue::TargetOutsideImage { pc: base, target: 0xdead_0000 }]
+            vec![ProgramIssue::TargetOutsideImage {
+                pc: base,
+                target: 0xdead_0000
+            }]
         );
     }
 
@@ -165,7 +176,10 @@ mod tests {
             footprint: 4096,
         })];
         let prog = Program::new("bad3", base, base, vec![cond, filler], behaviors, 0);
-        assert_eq!(validate(&prog), vec![ProgramIssue::BehaviorKindMismatch { pc: base }]);
+        assert_eq!(
+            validate(&prog),
+            vec![ProgramIssue::BehaviorKindMismatch { pc: base }]
+        );
     }
 
     #[test]

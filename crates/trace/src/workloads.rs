@@ -200,7 +200,10 @@ fn server1(name: &str, funcs: usize) -> ProgramSpec {
             bernoulli_p: (0.2, 0.8),
             ..CondProfile::default()
         },
-        mem: MemProfile { data_footprint: 8 << 20, ..MemProfile::default() },
+        mem: MemProfile {
+            data_footprint: 8 << 20,
+            ..MemProfile::default()
+        },
         ..base
     }
 }
@@ -218,7 +221,10 @@ fn server2_recursive(name: &str) -> ProgramSpec {
         num_funcs: 90,
         call_prob: 0.4,
         insts_per_block: (2, 6),
-        recursion: Some(RecursionSpec { funcs: 8, depth: (8, 24) }),
+        recursion: Some(RecursionSpec {
+            funcs: 8,
+            depth: (8, 24),
+        }),
         mem: MemProfile {
             data_footprint: 3 << 20,
             frac_random: 0.2,
@@ -311,7 +317,10 @@ fn build(name: &'static str, suite: Suite) -> Workload {
         }),
         "648.exchange2" => tweak(int_branchy(name, 0.16, (0.2, 0.8)), |s| {
             s.call_prob = 0.2;
-            s.recursion = Some(RecursionSpec { funcs: 3, depth: (6, 12) });
+            s.recursion = Some(RecursionSpec {
+                funcs: 3,
+                depth: (6, 12),
+            });
         }),
         "657.xz_s" => tweak(int_branchy(name, 0.14, (0.2, 0.8)), |s| {
             s.mem.data_footprint = 64 << 20;
@@ -578,7 +587,10 @@ mod tests {
         let mut o = Oracle::new(Arc::new(synthesize(&w.spec)), w.spec.seed);
         let p = DynProfile::collect(&mut o, 0, 100_000);
         let ret_per_ki = p.returns as f64 * 1000.0 / p.insts as f64;
-        assert!(ret_per_ki > 5.0, "server2_subtest2 returns/KI = {ret_per_ki}");
+        assert!(
+            ret_per_ki > 5.0,
+            "server2_subtest2 returns/KI = {ret_per_ki}"
+        );
     }
 
     #[test]

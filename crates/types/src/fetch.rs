@@ -233,8 +233,16 @@ mod tests {
             fetch_cycle: 0,
         };
         assert!(base.on_correct_path());
-        assert!(!FetchedInst { oracle_seq: None, ..base }.on_correct_path());
-        assert!(!FetchedInst { wrong_path: true, ..base }.on_correct_path());
+        assert!(!FetchedInst {
+            oracle_seq: None,
+            ..base
+        }
+        .on_correct_path());
+        assert!(!FetchedInst {
+            wrong_path: true,
+            ..base
+        }
+        .on_correct_path());
     }
 
     #[test]

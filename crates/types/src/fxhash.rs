@@ -116,9 +116,12 @@ mod tests {
     #[test]
     fn distinct_keys_disperse() {
         let b = FxBuildHasher;
-        let hashes: std::collections::BTreeSet<u64> =
-            (0u64..1000).map(|k| b.hash_one(k)).collect();
-        assert_eq!(hashes.len(), 1000, "dense keys must not collide on the full hash");
+        let hashes: std::collections::BTreeSet<u64> = (0u64..1000).map(|k| b.hash_one(k)).collect();
+        assert_eq!(
+            hashes.len(),
+            1000,
+            "dense keys must not collide on the full hash"
+        );
     }
 
     #[test]

@@ -200,7 +200,14 @@ mod tests {
     #[test]
     fn branch_kind_classification_is_consistent() {
         use BranchKind::*;
-        for k in [CondDirect, UncondDirect, Call, Return, IndirectJump, IndirectCall] {
+        for k in [
+            CondDirect,
+            UncondDirect,
+            Call,
+            Return,
+            IndirectJump,
+            IndirectCall,
+        ] {
             assert_ne!(k.is_conditional(), k.is_unconditional());
             assert_ne!(k.is_indirect(), k.is_direct());
         }
@@ -234,7 +241,10 @@ mod tests {
         assert_eq!(BranchKind::Return.to_string(), "ret");
         assert_eq!(BranchKind::Call.to_string(), "bl");
         assert_eq!(InstClass::Load.to_string(), "ldr");
-        assert_eq!(InstClass::Branch(BranchKind::CondDirect).to_string(), "b.cond");
+        assert_eq!(
+            InstClass::Branch(BranchKind::CondDirect).to_string(),
+            "b.cond"
+        );
     }
 
     #[test]

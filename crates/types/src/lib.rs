@@ -15,7 +15,9 @@ pub mod fxhash;
 pub mod inst;
 pub mod snap;
 
-pub use fetch::{FaqBranch, FaqEntry, FaqTermination, FetchMode, FetchedInst, PredSource, Prediction};
+pub use fetch::{
+    FaqBranch, FaqEntry, FaqTermination, FetchMode, FetchedInst, PredSource, Prediction,
+};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use inst::{BranchKind, InstClass, StaticInst};
 pub use snap::{Snap, SnapError, SnapReader, SnapWriter};

@@ -205,7 +205,10 @@ impl<'a> SnapReader<'a> {
         // Every element costs at least one byte in this format.
         if n > self.remaining() as u64 {
             return Err(SnapError::Mismatch {
-                what: format!("{what}: count {n} exceeds remaining {} bytes", self.remaining()),
+                what: format!(
+                    "{what}: count {n} exceeds remaining {} bytes",
+                    self.remaining()
+                ),
             });
         }
         Ok(n as usize)
@@ -290,8 +293,7 @@ impl Snap for usize {
     }
     fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
         let v = r.u64("usize")?;
-        usize::try_from(v)
-            .map_err(|_| SnapError::mismatch(format!("usize value {v} does not fit")))
+        usize::try_from(v).map_err(|_| SnapError::mismatch(format!("usize value {v} does not fit")))
     }
 }
 
@@ -303,7 +305,10 @@ impl Snap for bool {
         match r.u8("bool")? {
             0 => Ok(false),
             1 => Ok(true),
-            t => Err(SnapError::BadTag { what: "bool", tag: u64::from(t) }),
+            t => Err(SnapError::BadTag {
+                what: "bool",
+                tag: u64::from(t),
+            }),
         }
     }
 }
@@ -344,7 +349,10 @@ impl<T: Snap> Snap for Option<T> {
         match r.u8("option tag")? {
             0 => Ok(None),
             1 => Ok(Some(T::load(r)?)),
-            t => Err(SnapError::BadTag { what: "option", tag: u64::from(t) }),
+            t => Err(SnapError::BadTag {
+                what: "option",
+                tag: u64::from(t),
+            }),
         }
     }
 }
@@ -476,7 +484,12 @@ impl Snap for BranchKind {
             3 => BranchKind::Return,
             4 => BranchKind::IndirectJump,
             5 => BranchKind::IndirectCall,
-            t => return Err(SnapError::BadTag { what: "branch kind", tag: u64::from(t) }),
+            t => {
+                return Err(SnapError::BadTag {
+                    what: "branch kind",
+                    tag: u64::from(t),
+                })
+            }
         })
     }
 }
@@ -507,7 +520,12 @@ impl Snap for InstClass {
             5 => InstClass::Simd,
             6 => InstClass::Nop,
             7 => InstClass::Branch(BranchKind::load(r)?),
-            t => return Err(SnapError::BadTag { what: "inst class", tag: u64::from(t) }),
+            t => {
+                return Err(SnapError::BadTag {
+                    what: "inst class",
+                    tag: u64::from(t),
+                })
+            }
         })
     }
 }
@@ -563,7 +581,12 @@ impl Snap for PredSource {
             8 => PredSource::CoupledRas,
             9 => PredSource::StaticNotTaken,
             10 => PredSource::DecodedTarget,
-            t => return Err(SnapError::BadTag { what: "pred source", tag: u64::from(t) }),
+            t => {
+                return Err(SnapError::BadTag {
+                    what: "pred source",
+                    tag: u64::from(t),
+                })
+            }
         })
     }
 }
@@ -594,7 +617,12 @@ impl Snap for FetchMode {
         Ok(match r.u8("fetch mode")? {
             0 => FetchMode::Coupled,
             1 => FetchMode::Decoupled,
-            t => return Err(SnapError::BadTag { what: "fetch mode", tag: u64::from(t) }),
+            t => {
+                return Err(SnapError::BadTag {
+                    what: "fetch mode",
+                    tag: u64::from(t),
+                })
+            }
         })
     }
 }
@@ -615,7 +643,12 @@ impl Snap for FaqTermination {
             0 => FaqTermination::TakenBranch(BranchKind::load(r)?),
             1 => FaqTermination::FallThrough,
             2 => FaqTermination::BtbMiss,
-            t => return Err(SnapError::BadTag { what: "faq termination", tag: u64::from(t) }),
+            t => {
+                return Err(SnapError::BadTag {
+                    what: "faq termination",
+                    tag: u64::from(t),
+                })
+            }
         })
     }
 }
@@ -793,6 +826,9 @@ mod tests {
         w.u64(u64::MAX);
         let bytes = w.into_bytes();
         let mut r = SnapReader::new(&bytes);
-        assert!(matches!(Vec::<u64>::load(&mut r), Err(SnapError::Mismatch { .. })));
+        assert!(matches!(
+            Vec::<u64>::load(&mut r),
+            Err(SnapError::Mismatch { .. })
+        ));
     }
 }

@@ -10,7 +10,9 @@ use elf_sim::frontend::{ElfVariant, FetchArch};
 use elf_sim::trace::workloads;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "641.leela".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "641.leela".to_owned());
     let Some(workload) = workloads::by_name(&name) else {
         eprintln!("unknown workload {name:?}; available:");
         for w in workloads::all() {

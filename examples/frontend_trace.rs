@@ -67,7 +67,11 @@ fn trace(arch: FetchArch, cycles: u64) {
     println!(
         "  => delivered {} (coupled {}), decode resteers {}, BP bubbles {}, \
          FAQ blocks {} (of which BTB-miss proxies {})",
-        s.delivered, s.delivered_coupled, s.decode_resteers, s.bp_bubbles, s.faq_blocks,
+        s.delivered,
+        s.delivered_coupled,
+        s.decode_resteers,
+        s.bp_bubbles,
+        s.faq_blocks,
         s.btb_miss_blocks
     );
     println!();

@@ -28,10 +28,7 @@ fn main() {
             let mut oracle = Oracle::new(prog, w.spec.seed);
             println!("{name}: representative 20k-instruction intervals (of 30):");
             for p in simpoint::select(&mut oracle, 20_000, 30, 5) {
-                println!(
-                    "  interval @ {:>8} insts, weight {:.2}",
-                    p.start, p.weight
-                );
+                println!("  interval @ {:>8} insts, weight {:.2}", p.start, p.weight);
             }
             return;
         }

@@ -10,6 +10,8 @@
 //! elfsim 641.leela u-elf --inject flush=50,btb=20 --seed 7
 //! elfsim 641.leela u-elf --checkpoint-every 100000 --checkpoint-file run.ckpt
 //! elfsim --resume run.ckpt               # continue an interrupted run
+//! elfsim 641.leela u-elf --metrics       # cycle-attribution table
+//! elfsim 641.leela --compare --metrics-json m.json   # machine-readable
 //! ```
 //!
 //! Exit codes: 0 success, 1 simulation error (wedge / malformed program /
@@ -18,10 +20,10 @@
 //! (partial results were still printed).
 
 use elf_sim::core::{
-    FaultKind, FaultPlan, GridCell, GridOptions, SimConfig, SimError, SimStats, Simulator,
-    Snapshot,
+    metrics, FaultKind, FaultPlan, GridCell, GridOptions, Metrics, MetricsRun, SimConfig, SimError,
+    SimStats, Simulator, Snapshot,
 };
-use elf_sim::frontend::{ElfVariant, FetchArch};
+use elf_sim::frontend::{ElfVariant, FetchArch, FetchCycleCause};
 use elf_sim::trace::{synthesize, workloads};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -72,6 +74,7 @@ fn usage(problem: &str) -> ExitCode {
         "usage: elfsim <workload> [arch] [--warmup N] [--window N] [--seed N]\n\
                        [--inject KIND=RATE[,KIND=RATE...]]\n\
                        [--checkpoint-every N] [--checkpoint-file F]\n\
+                       [--metrics] [--metrics-json F]\n\
                 elfsim <workload> --compare [--jobs N] [--retries N] [...]\n\
                 elfsim --resume F [--window N] [--checkpoint-every N] [--checkpoint-file F]\n\
                 elfsim [workload] --bench-json F [--bench-baseline F] [--warmup N] [--window N]\n\
@@ -86,7 +89,11 @@ fn usage(problem: &str) -> ExitCode {
          flags partial results). --bench-json F times the simulation kernel\n\
          itself (cycles/sec and MIPS per architecture) and writes the report\n\
          to F; --bench-baseline F fails the run when any architecture drops\n\
-         below 70% of the baseline report's MIPS."
+         below 70% of the baseline report's MIPS. --metrics prints the\n\
+         cycle-attribution table (every cycle charged to exactly one cause);\n\
+         --metrics-json F writes the elfsim-metrics-v1 report to F. Both\n\
+         also work with --compare and --resume (the snapshot must have been\n\
+         taken with metrics enabled)."
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -115,10 +122,41 @@ fn run_window_chunked(
     }
 }
 
+/// Emits the requested metrics output: the human table (`--metrics`)
+/// and/or the versioned JSON report (`--metrics-json F`). Shared by the
+/// single-run, resume, serial-compare and grid paths.
+fn emit_metrics(
+    workload: &str,
+    runs: &[MetricsRun],
+    table: bool,
+    json: Option<&Path>,
+) -> Result<(), ExitCode> {
+    if table {
+        println!();
+        print!("{}", metrics::render_table(runs));
+    }
+    if let Some(path) = json {
+        let report = metrics::render_json(workload, runs);
+        if let Err(e) = std::fs::write(path, &report) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return Err(ExitCode::from(EXIT_SIM));
+        }
+        println!("metrics written to {}", path.display());
+    }
+    Ok(())
+}
+
 /// `elfsim --resume F`: read a snapshot, rebuild the simulator and finish
 /// the interrupted window ( `--window` is the same absolute target as the
 /// original run; instructions already retired are not re-run).
-fn resume(path: &Path, window: u64, every: u64, file: Option<&Path>) -> ExitCode {
+fn resume(
+    path: &Path,
+    window: u64,
+    every: u64,
+    file: Option<&Path>,
+    show_metrics: bool,
+    metrics_json: Option<&Path>,
+) -> ExitCode {
     let snap = match Snapshot::read_from(path) {
         Ok(s) => s,
         Err(e) => {
@@ -141,11 +179,30 @@ fn resume(path: &Path, window: u64, every: u64, file: Option<&Path>) -> ExitCode
         sim.retired(),
     );
     println!();
+    if (show_metrics || metrics_json.is_some()) && sim.metrics().is_none() {
+        eprintln!(
+            "snapshot {} was taken without metrics; re-run the original \
+             command with --metrics to collect them",
+            path.display()
+        );
+        return ExitCode::from(EXIT_SIM);
+    }
     // Keep checkpointing to the resume file unless redirected.
     let file = Some(file.unwrap_or(path));
     match run_window_chunked(&mut sim, window, every, file) {
         Ok(s) => {
             print!("{}", s.report());
+            if let Some(m) = sim.metrics() {
+                let run = MetricsRun {
+                    arch: sim.config().arch.label().to_owned(),
+                    stats: s,
+                    metrics: m.clone(),
+                };
+                let name = sim.program().name().to_owned();
+                if let Err(code) = emit_metrics(&name, &[run], show_metrics, metrics_json) {
+                    return code;
+                }
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -269,13 +326,14 @@ fn main() -> ExitCode {
     let mut resume_from: Option<PathBuf> = None;
     let mut bench_json: Option<PathBuf> = None;
     let mut bench_baseline: Option<PathBuf> = None;
+    let mut show_metrics = false;
+    let mut metrics_json: Option<PathBuf> = None;
     let mut jobs: Option<usize> = None;
     let mut retries = 0u32;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--warmup" | "--window" | "--seed" | "--checkpoint-every" | "--jobs"
-            | "--retries" => {
+            "--warmup" | "--window" | "--seed" | "--checkpoint-every" | "--jobs" | "--retries" => {
                 let flag = args[i].as_str();
                 let Some(v) = args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) else {
                     return usage(&format!("{flag} needs an unsigned integer value"));
@@ -297,7 +355,8 @@ fn main() -> ExitCode {
                 inject = Some(v.clone());
                 i += 2;
             }
-            "--checkpoint-file" | "--resume" | "--bench-json" | "--bench-baseline" => {
+            "--checkpoint-file" | "--resume" | "--bench-json" | "--bench-baseline"
+            | "--metrics-json" => {
                 let flag = args[i].as_str();
                 let Some(v) = args.get(i + 1) else {
                     return usage(&format!("{flag} needs a file path"));
@@ -307,12 +366,17 @@ fn main() -> ExitCode {
                     "--resume" => resume_from = Some(path),
                     "--bench-json" => bench_json = Some(path),
                     "--bench-baseline" => bench_baseline = Some(path),
+                    "--metrics-json" => metrics_json = Some(path),
                     _ => checkpoint_file = Some(path),
                 }
                 i += 2;
             }
             "--compare" => {
                 compare = true;
+                i += 1;
+            }
+            "--metrics" => {
+                show_metrics = true;
                 i += 1;
             }
             flag if flag.starts_with('-') => {
@@ -325,6 +389,8 @@ fn main() -> ExitCode {
         }
     }
 
+    let want_metrics = show_metrics || metrics_json.is_some();
+
     if let Some(json_path) = &bench_json {
         if resume_from.is_some()
             || compare
@@ -333,6 +399,7 @@ fn main() -> ExitCode {
             || jobs.is_some()
             || checkpoint_every > 0
             || checkpoint_file.is_some()
+            || want_metrics
         {
             return usage(
                 "--bench-json times plain baseline runs: only an optional workload, \
@@ -356,7 +423,14 @@ fn main() -> ExitCode {
                  are baked in; only --window / --checkpoint-every / --checkpoint-file apply",
             );
         }
-        return resume(path, window, checkpoint_every, checkpoint_file.as_deref());
+        return resume(
+            path,
+            window,
+            checkpoint_every,
+            checkpoint_file.as_deref(),
+            show_metrics,
+            metrics_json.as_deref(),
+        );
     }
     if checkpoint_every > 0 && checkpoint_file.is_none() {
         return usage("--checkpoint-every needs --checkpoint-file");
@@ -395,12 +469,14 @@ fn main() -> ExitCode {
     // Synthesize once and validate up front: a malformed image is reported
     // as a structured error before any cycles are burned.
     let prog = Arc::new(synthesize(&spec));
-    let run = |arch: FetchArch| -> Result<_, SimError> {
+    let run = |arch: FetchArch| -> Result<(SimStats, Option<Metrics>), SimError> {
         let mut cfg = SimConfig::baseline(arch);
         cfg.fault = fault;
+        cfg.metrics = want_metrics;
         let mut sim = Simulator::try_from_program(cfg, Arc::clone(&prog), spec.seed)?;
         sim.warm_up(warmup)?;
-        sim.run(window)
+        let stats = sim.run(window)?;
+        Ok((stats, sim.metrics().cloned()))
     };
     let injected = inject
         .as_ref()
@@ -415,7 +491,9 @@ fn main() -> ExitCode {
             // a wedged or panicking cell is reported and the rest of the
             // results still come back (exit code 3 flags the partial set).
             if seed.is_some() {
-                return usage("--seed is not supported with --jobs (grid cells use registry seeds)");
+                return usage(
+                    "--seed is not supported with --jobs (grid cells use registry seeds)",
+                );
             }
             println!(
                 "{} — supervised grid, {jobs} worker(s), {retries} retr(ies) \
@@ -427,10 +505,20 @@ fn main() -> ExitCode {
                 .map(|&a| {
                     let mut cfg = SimConfig::baseline(a);
                     cfg.fault = fault;
-                    GridCell { workload: workload.name.to_owned(), cfg, warmup, window }
+                    cfg.metrics = want_metrics;
+                    GridCell {
+                        workload: workload.name.to_owned(),
+                        cfg,
+                        warmup,
+                        window,
+                    }
                 })
                 .collect();
-            let opts = GridOptions { jobs, retries, ..GridOptions::default() };
+            let opts = GridOptions {
+                jobs,
+                retries,
+                ..GridOptions::default()
+            };
             let report = elf_sim::core::run_grid(&cells, &opts);
             let base = report
                 .ok
@@ -442,6 +530,34 @@ fn main() -> ExitCode {
                     format!(" ({:+.2}% vs DCF)", (r.ipc() / b - 1.0) * 100.0)
                 });
                 println!("  {:>9}: IPC {:.3}{rel}", r.arch, r.ipc());
+            }
+            if want_metrics {
+                let runs: Vec<MetricsRun> = report
+                    .ok
+                    .iter()
+                    .filter_map(|r| {
+                        r.metrics.clone().map(|m| MetricsRun {
+                            arch: r.arch.clone(),
+                            stats: r.stats.clone(),
+                            metrics: m,
+                        })
+                    })
+                    .collect();
+                if let Some(agg) = report.merged_metrics() {
+                    println!(
+                        "  grid aggregate: {} cycles attributed across {} cell(s), \
+                         {:.1}% useful fetch",
+                        agg.total_fetch_cycles(),
+                        runs.len(),
+                        agg.fetch_cycles[FetchCycleCause::UsefulFetch.index()] as f64 * 100.0
+                            / agg.total_fetch_cycles().max(1) as f64,
+                    );
+                }
+                if let Err(code) =
+                    emit_metrics(workload.name, &runs, show_metrics, metrics_json.as_deref())
+                {
+                    return code;
+                }
             }
             if report.all_ok() {
                 return ExitCode::SUCCESS;
@@ -455,9 +571,10 @@ fn main() -> ExitCode {
             workload.name
         );
         let mut base = None;
+        let mut mruns: Vec<MetricsRun> = Vec::new();
         for a in archs {
-            let s = match run(a) {
-                Ok(s) => s,
+            let (s, m) = match run(a) {
+                Ok(r) => r,
                 Err(e) => {
                     eprintln!("{}: {e}", a.label());
                     return ExitCode::from(EXIT_SIM);
@@ -470,6 +587,20 @@ fn main() -> ExitCode {
                 format!(" ({:+.2}% vs DCF)", (s.ipc() / b - 1.0) * 100.0)
             });
             println!("  {:>9}: IPC {:.3}{rel}", a.label(), s.ipc());
+            if let Some(m) = m {
+                mruns.push(MetricsRun {
+                    arch: a.label().to_owned(),
+                    stats: s,
+                    metrics: m,
+                });
+            }
+        }
+        if want_metrics {
+            if let Err(code) =
+                emit_metrics(workload.name, &mruns, show_metrics, metrics_json.as_deref())
+            {
+                return code;
+            }
         }
         return ExitCode::SUCCESS;
     }
@@ -480,16 +611,38 @@ fn main() -> ExitCode {
         arch.label()
     );
     println!();
-    let result = (|| {
+    let result = (|| -> Result<(SimStats, Option<Metrics>), SimError> {
         let mut cfg = SimConfig::baseline(arch);
         cfg.fault = fault;
+        cfg.metrics = want_metrics;
         let mut sim = Simulator::try_from_program(cfg, Arc::clone(&prog), spec.seed)?;
         sim.warm_up(warmup)?;
-        run_window_chunked(&mut sim, window, checkpoint_every, checkpoint_file.as_deref())
+        let stats = run_window_chunked(
+            &mut sim,
+            window,
+            checkpoint_every,
+            checkpoint_file.as_deref(),
+        )?;
+        Ok((stats, sim.metrics().cloned()))
     })();
     match result {
-        Ok(s) => {
+        Ok((s, m)) => {
             print!("{}", s.report());
+            if let Some(m) = m {
+                let mrun = MetricsRun {
+                    arch: arch.label().to_owned(),
+                    stats: s,
+                    metrics: m,
+                };
+                if let Err(code) = emit_metrics(
+                    workload.name,
+                    &[mrun],
+                    show_metrics,
+                    metrics_json.as_deref(),
+                ) {
+                    return code;
+                }
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

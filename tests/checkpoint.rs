@@ -47,7 +47,10 @@ fn split_vs_straight(
     let resumed_stats = resumed.run(second).expect("resumed second leg");
     let resumed_tail = resumed.recorder().snapshot();
 
-    ((straight_stats, straight_tail), (resumed_stats, resumed_tail))
+    (
+        (straight_stats, straight_tail),
+        (resumed_stats, resumed_tail),
+    )
 }
 
 #[test]
@@ -56,7 +59,12 @@ fn restore_is_bit_identical_for_every_arch() {
         let cfg = SimConfig::baseline(arch);
         let (straight, resumed) = split_vs_straight(cfg, "641.leela", 6_000, 6_000);
         assert_eq!(straight.0, resumed.0, "stats diverged for {}", arch.label());
-        assert_eq!(straight.1, resumed.1, "recorder tail diverged for {}", arch.label());
+        assert_eq!(
+            straight.1,
+            resumed.1,
+            "recorder tail diverged for {}",
+            arch.label()
+        );
     }
 }
 
@@ -71,8 +79,14 @@ fn restore_is_bit_identical_with_active_faults() {
             .with(FaultKind::ForceMispredict, 400),
     );
     let (straight, resumed) = split_vs_straight(cfg, "641.leela", 8_000, 8_000);
-    assert_eq!(straight.0, resumed.0, "stats diverged under fault injection");
-    assert_eq!(straight.1, resumed.1, "recorder tail diverged under fault injection");
+    assert_eq!(
+        straight.0, resumed.0,
+        "stats diverged under fault injection"
+    );
+    assert_eq!(
+        straight.1, resumed.1,
+        "recorder tail diverged under fault injection"
+    );
     // The plan above must actually fire for this test to mean anything.
     assert!(
         !straight.1.is_empty(),
@@ -92,7 +106,9 @@ fn snapshot_survives_a_file_round_trip() {
     let mut head = Simulator::try_for_workload(cfg, &w).unwrap();
     head.run(5_000).unwrap();
     let path = std::env::temp_dir().join(format!("elfsim-ckpt-test-{}.ckpt", std::process::id()));
-    head.checkpoint().write_to(&path).expect("checkpoint writes");
+    head.checkpoint()
+        .write_to(&path)
+        .expect("checkpoint writes");
     let snap = Snapshot::read_from(&path).expect("checkpoint reads back");
     std::fs::remove_file(&path).ok();
     let got = snap.restore().expect("restores").run(5_000).unwrap();
@@ -103,8 +119,7 @@ fn snapshot_survives_a_file_round_trip() {
 #[test]
 fn snapshot_reports_metadata_and_rejects_corruption() {
     let w = workloads::by_name("641.leela").unwrap();
-    let mut sim =
-        Simulator::try_for_workload(SimConfig::baseline(FetchArch::NoDcf), &w).unwrap();
+    let mut sim = Simulator::try_for_workload(SimConfig::baseline(FetchArch::NoDcf), &w).unwrap();
     sim.run(3_000).unwrap();
     let snap = sim.checkpoint();
     assert_eq!(snap.cycle, sim.cycle());
@@ -157,7 +172,11 @@ fn restore_inside_a_skipped_idle_region_is_bit_identical() {
             let snap = head.checkpoint();
             let mut probe = snap.restore().expect("snapshot restores");
             let at_restore = probe.skipped_cycles();
-            assert_eq!(at_restore, head.skipped_cycles(), "skip counter lost in the snapshot");
+            assert_eq!(
+                at_restore,
+                head.skipped_cycles(),
+                "skip counter lost in the snapshot"
+            );
             probe.run(1).expect("probe continuation");
             if probe.skipped_cycles() > at_restore {
                 found = Some((arch, head.retired()));
@@ -171,12 +190,14 @@ fn restore_inside_a_skipped_idle_region_is_bit_identical() {
     let cfg = SimConfig::baseline(arch);
     let (straight, resumed) = split_vs_straight(cfg, "641.leela", first, 5_000);
     assert_eq!(
-        straight.0, resumed.0,
+        straight.0,
+        resumed.0,
         "stats diverged across an idle-region checkpoint ({})",
         arch.label()
     );
     assert_eq!(
-        straight.1, resumed.1,
+        straight.1,
+        resumed.1,
         "recorder tail diverged across an idle-region checkpoint ({})",
         arch.label()
     );

@@ -30,11 +30,18 @@ fn every_architecture_completes_a_branchy_workload() {
 #[test]
 fn every_architecture_completes_a_server_workload() {
     let w = workloads::by_name("server2_subtest2").expect("registered");
-    for arch in [FetchArch::Dcf, FetchArch::Elf(ElfVariant::Ret), FetchArch::Elf(ElfVariant::U)] {
+    for arch in [
+        FetchArch::Dcf,
+        FetchArch::Elf(ElfVariant::Ret),
+        FetchArch::Elf(ElfVariant::U),
+    ] {
         let mut sim = Simulator::for_workload(SimConfig::baseline(arch), &w);
         let s = sim.run(30_000).expect("run completes");
         assert!(s.retired >= 30_000, "{arch:?}");
-        assert!(s.returns > 100, "{arch:?}: recursion workload must retire returns");
+        assert!(
+            s.returns > 100,
+            "{arch:?}: recursion workload must retire returns"
+        );
     }
 }
 
@@ -44,7 +51,12 @@ fn results_are_deterministic() {
     let run = |arch| {
         let mut sim = Simulator::for_workload(SimConfig::baseline(arch), &w);
         let s = sim.run(25_000).expect("run completes");
-        (s.cycles, s.retired, s.cond_mispredicts, s.backend.mispredict_flushes)
+        (
+            s.cycles,
+            s.retired,
+            s.cond_mispredicts,
+            s.backend.mispredict_flushes,
+        )
     };
     for arch in [FetchArch::Dcf, FetchArch::Elf(ElfVariant::U)] {
         assert_eq!(run(arch), run(arch), "{arch:?} must be deterministic");
@@ -71,7 +83,10 @@ fn architectural_results_do_not_depend_on_the_fetch_architecture() {
             x.1.abs_diff(y.1) <= 32,
             "taken-branch counts diverge: {x:?} vs {y:?}"
         );
-        assert!(x.2.abs_diff(y.2) <= 32, "return counts diverge: {x:?} vs {y:?}");
+        assert!(
+            x.2.abs_diff(y.2) <= 32,
+            "return counts diverge: {x:?} vs {y:?}"
+        );
     }
 }
 
@@ -102,7 +117,10 @@ fn fp_workloads_have_low_mpki_and_branchy_ones_high() {
     // lbm < 1 MPKI — this only checks the ordering.
     assert!(lbm < 5.0, "619.lbm MPKI {lbm}");
     assert!(leela > 6.0, "641.leela MPKI {leela}");
-    assert!(leela > 2.0 * lbm, "MPKI ordering must separate FP from branchy INT");
+    assert!(
+        leela > 2.0 * lbm,
+        "MPKI ordering must separate FP from branchy INT"
+    );
 }
 
 #[test]
@@ -113,7 +131,10 @@ fn elf_recovers_from_resteers_faster_than_dcf() {
     let latency = |arch| {
         let mut sim = Simulator::for_workload(SimConfig::baseline(arch), &w);
         sim.warm_up(40_000).expect("warm-up completes");
-        sim.run(40_000).expect("run completes").frontend.mean_resteer_latency()
+        sim.run(40_000)
+            .expect("run completes")
+            .frontend
+            .mean_resteer_latency()
     };
     let dcf = latency(FetchArch::Dcf);
     let elf = latency(FetchArch::Elf(ElfVariant::U));
@@ -130,17 +151,22 @@ fn dcf_prefetches_instructions_and_nodcf_cannot() {
     let pf = |arch| {
         let mut sim = Simulator::for_workload(SimConfig::baseline(arch), &w);
         sim.warm_up(30_000).expect("warm-up completes");
-        sim.run(30_000).expect("run completes").frontend.faq_prefetches
+        sim.run(30_000)
+            .expect("run completes")
+            .frontend
+            .faq_prefetches
     };
-    assert!(pf(FetchArch::Dcf) > 100, "large-footprint workload must prefetch");
+    assert!(
+        pf(FetchArch::Dcf) > 100,
+        "large-footprint workload must prefetch"
+    );
     assert_eq!(pf(FetchArch::NoDcf), 0, "NoDCF has no FAQ to prefetch from");
 }
 
 #[test]
 fn elf_coupled_mode_is_transient() {
     let w = workloads::by_name("620.omnetpp").expect("registered");
-    let mut sim =
-        Simulator::for_workload(SimConfig::baseline(FetchArch::Elf(ElfVariant::U)), &w);
+    let mut sim = Simulator::for_workload(SimConfig::baseline(FetchArch::Elf(ElfVariant::U)), &w);
     sim.warm_up(30_000).expect("warm-up completes");
     let s = sim.run(40_000).expect("run completes");
     assert!(s.frontend.coupled_periods > 10);
@@ -181,7 +207,10 @@ fn boomerang_probe_extension_reduces_proxy_blocks() {
     let (proxies_off, boom_off) = run(false);
     let (proxies_on, boom_on) = run(true);
     assert_eq!(boom_off, 0, "probe off must never pre-decode");
-    assert!(boom_on > 0, "probe on must recover blocks from resident lines");
+    assert!(
+        boom_on > 0,
+        "probe on must recover blocks from resident lines"
+    );
     assert!(
         proxies_on < proxies_off,
         "recovered blocks replace blind proxies: {proxies_on} vs {proxies_off}"

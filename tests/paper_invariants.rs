@@ -12,7 +12,10 @@ fn table2_frontend_parameters() {
     let f = FrontendConfig::paper();
     assert_eq!(f.fetch_width, 8, "fetch through rename width");
     assert_eq!(f.faq_entries, 32, "32-entry FIFO FAQ");
-    assert_eq!(f.bp_to_faq_delay, 3, "BP1 to FE latency: 3 cycles (BP1, BP2, FAQ)");
+    assert_eq!(
+        f.bp_to_faq_delay, 3,
+        "BP1 to FE latency: 3 cycles (BP1, BP2, FAQ)"
+    );
     assert_eq!(f.btb.l0_entries, 24);
     assert_eq!(f.btb.l1_entries, 256);
     assert_eq!(f.btb.l1_ways, 4);
@@ -44,7 +47,10 @@ fn table2_backend_parameters() {
     let b = BackendConfig::paper();
     assert_eq!(b.rename_width, 8);
     assert_eq!(b.issue_width, 9);
-    assert_eq!((b.rob_entries, b.iq_entries, b.lsq_entries, b.prf_entries), (256, 128, 128, 256));
+    assert_eq!(
+        (b.rob_entries, b.iq_entries, b.lsq_entries, b.prf_entries),
+        (256, 128, 128, 256)
+    );
     // BP1-EXE latency: 11 cycles.
     let depth = 5 + b.rename_latency + 1 + 1 + b.redirect_latency;
     assert_eq!(depth, 11);
@@ -92,8 +98,14 @@ fn btb_hit_rates_are_cumulative_and_low_on_server1() {
         ]
     };
     let srv = rates("server1_subtest1");
-    assert!(srv[0] <= srv[1] && srv[1] <= srv[2], "cumulative rates must be ordered");
-    assert!(srv[2] < 0.9, "server1 must miss the BTB substantially: {srv:?}");
+    assert!(
+        srv[0] <= srv[1] && srv[1] <= srv[2],
+        "cumulative rates must be ordered"
+    );
+    assert!(
+        srv[2] < 0.9,
+        "server1 must miss the BTB substantially: {srv:?}"
+    );
     let spec = rates("641.leela");
     assert!(
         spec[2] > srv[2],
@@ -119,7 +131,10 @@ fn elf_variants_only_speculate_past_what_they_predict() {
     assert!(ret.cpl_ras_preds > 0, "RET-ELF must predict returns");
     assert_eq!(ret.cpl_bimodal_preds, 0);
     let u = stats(ElfVariant::U);
-    assert!(u.cpl_bimodal_preds > 0 && u.cpl_ras_preds > 0, "U-ELF combines all");
+    assert!(
+        u.cpl_bimodal_preds > 0 && u.cpl_ras_preds > 0,
+        "U-ELF combines all"
+    );
 }
 
 #[test]
@@ -131,13 +146,19 @@ fn recovery_latency_ordering_matches_figure3() {
     let lat = |arch| {
         let mut sim = Simulator::for_workload(SimConfig::baseline(arch), &w);
         sim.warm_up(40_000).expect("warm-up completes");
-        sim.run(30_000).expect("run completes").frontend.mean_resteer_latency()
+        sim.run(30_000)
+            .expect("run completes")
+            .frontend
+            .mean_resteer_latency()
     };
     let dcf = lat(FetchArch::Dcf);
     let nodcf = lat(FetchArch::NoDcf);
     let elf = lat(FetchArch::Elf(ElfVariant::U));
     assert!(dcf > nodcf + 2.0, "DCF {dcf} vs NoDCF {nodcf}");
-    assert!((elf - nodcf).abs() < 1.0, "ELF {elf} recovers like NoDCF {nodcf}");
+    assert!(
+        (elf - nodcf).abs() < 1.0,
+        "ELF {elf} recovers like NoDCF {nodcf}"
+    );
 }
 
 #[test]
@@ -146,8 +167,7 @@ fn uelf_divergence_machinery_is_exercised_on_bimodal_hostile_code() {
     // coupled bimodal and the decoupled TAGE disagree — the bitvectors and
     // target queues must detect and resolve divergences (§IV-C2).
     let w = workloads::by_name("620.omnetpp").expect("registered");
-    let mut sim =
-        Simulator::for_workload(SimConfig::baseline(FetchArch::Elf(ElfVariant::U)), &w);
+    let mut sim = Simulator::for_workload(SimConfig::baseline(FetchArch::Elf(ElfVariant::U)), &w);
     sim.warm_up(60_000).expect("warm-up completes");
     let s = sim.run(60_000).expect("run completes");
     assert!(
@@ -165,10 +185,22 @@ fn btb_entries_obey_the_zen_format() {
     use elf_sim::btb::{BtbBranch, BtbEntry};
     use elf_sim::types::BranchKind;
     let mut e = BtbEntry::new(0x1000, 16);
-    assert!(e.add_branch(BtbBranch { offset: 3, kind: BranchKind::CondDirect, target: Some(0x40) }));
-    assert!(e.add_branch(BtbBranch { offset: 9, kind: BranchKind::CondDirect, target: Some(0x80) }));
+    assert!(e.add_branch(BtbBranch {
+        offset: 3,
+        kind: BranchKind::CondDirect,
+        target: Some(0x40)
+    }));
+    assert!(e.add_branch(BtbBranch {
+        offset: 9,
+        kind: BranchKind::CondDirect,
+        target: Some(0x80)
+    }));
     assert!(
-        !e.add_branch(BtbBranch { offset: 12, kind: BranchKind::CondDirect, target: Some(0xc0) }),
+        !e.add_branch(BtbBranch {
+            offset: 12,
+            kind: BranchKind::CondDirect,
+            target: Some(0xc0)
+        }),
         "at most 2 observed-taken branches per entry"
     );
 }

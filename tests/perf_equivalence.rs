@@ -46,7 +46,11 @@ fn both_runs(
         reference.delivery_rate().mean(),
         reference.delivery_rate().quantile(1.0),
     );
-    assert_eq!(reference.skipped_cycles(), 0, "reference run must never skip");
+    assert_eq!(
+        reference.skipped_cycles(),
+        0,
+        "reference run must never skip"
+    );
 
     cfg.idle_skip = true;
     let mut skipping = Simulator::try_for_workload(cfg, &w).expect("valid config");
@@ -62,7 +66,11 @@ fn both_runs(
         skipping.delivery_rate().quantile(1.0),
     );
 
-    ((ref_stats, ref_hist), (skip_stats, skip_hist), skipping.skipped_cycles())
+    (
+        (ref_stats, ref_hist),
+        (skip_stats, skip_hist),
+        skipping.skipped_cycles(),
+    )
 }
 
 #[test]
@@ -77,18 +85,28 @@ fn stats_identical_across_all_architectures() {
     }
     // The optimization must actually engage somewhere, or this test only
     // proves that a disabled feature equals itself.
-    assert!(total_skipped > 0, "idle skipping never fired across any architecture");
+    assert!(
+        total_skipped > 0,
+        "idle skipping never fired across any architecture"
+    );
 }
 
 #[test]
 fn stats_identical_under_fault_injection() {
-    for arch in [FetchArch::NoDcf, FetchArch::Dcf, FetchArch::Elf(ElfVariant::U)] {
+    for arch in [
+        FetchArch::NoDcf,
+        FetchArch::Dcf,
+        FetchArch::Elf(ElfVariant::U),
+    ] {
         let mut cfg = SimConfig::baseline(arch);
         cfg.fault = Some(FaultPlan::uniform(60, 11));
         let ((ref_stats, ref_hist), (skip_stats, skip_hist), _) =
             both_runs(cfg, "641.leela", 2_000, 6_000);
         assert_eq!(ref_stats, skip_stats, "{arch:?} (faults): stats diverged");
-        assert_eq!(ref_hist, skip_hist, "{arch:?} (faults): histograms diverged");
+        assert_eq!(
+            ref_hist, skip_hist,
+            "{arch:?} (faults): histograms diverged"
+        );
     }
 }
 

@@ -39,7 +39,10 @@ fn arb_spec() -> impl Strategy<Value = ProgramSpec> {
                     frac_pattern: 0.0,
                     ..CondProfile::default()
                 },
-                mem: MemProfile { data_footprint: 1 << 20, ..MemProfile::default() },
+                mem: MemProfile {
+                    data_footprint: 1 << 20,
+                    ..MemProfile::default()
+                },
                 ..ProgramSpec::default()
             },
         )

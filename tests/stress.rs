@@ -34,7 +34,9 @@ fn stress_cell(arch: FetchArch, plan: FaultPlan, label: &str) -> Result<SimStats
         Err(e) => {
             // A wedge under injected faults is a legitimate outcome, but it
             // must be fully structured: a report with a consistent position.
-            let r = e.report().unwrap_or_else(|| panic!("{label}: {e} has no report"));
+            let r = e
+                .report()
+                .unwrap_or_else(|| panic!("{label}: {e} has no report"));
             assert!(r.cycle > 0, "{label}: wedge at cycle 0");
             assert!(r.retired < r.target, "{label}: wedge after reaching target");
         }
@@ -52,7 +54,11 @@ fn every_variant_survives_every_fault_kind() {
             let plan = FaultPlan::single(kind, 150, 0xe1f0 + kind.index() as u64);
             let label = format!("{variant:?}/{kind}");
             let out = stress_cell(FetchArch::Elf(variant), plan, &label);
-            assert!(out.is_ok(), "{label}: expected recovery, got {:?}", out.err());
+            assert!(
+                out.is_ok(),
+                "{label}: expected recovery, got {:?}",
+                out.err()
+            );
         }
     }
 }
@@ -63,7 +69,11 @@ fn every_variant_survives_all_faults_at_once() {
         let plan = FaultPlan::uniform(80, 0xa11f);
         let label = format!("{variant:?}/all");
         let out = stress_cell(FetchArch::Elf(variant), plan, &label);
-        assert!(out.is_ok(), "{label}: expected recovery, got {:?}", out.err());
+        assert!(
+            out.is_ok(),
+            "{label}: expected recovery, got {:?}",
+            out.err()
+        );
     }
 }
 
@@ -104,10 +114,16 @@ fn induced_wedge_produces_a_diagnostic_with_the_event_tail() {
     let mut sim = Simulator::for_workload(cfg, &w);
     let err = sim.run(1_000_000).expect_err("starved pipeline must wedge");
     let report = err.report().expect("wedge carries a report");
-    assert!(!report.events.is_empty(), "flight recorder tail must be populated");
+    assert!(
+        !report.events.is_empty(),
+        "flight recorder tail must be populated"
+    );
     let rendered = err.to_string();
     assert!(rendered.contains("diagnostic report"), "{rendered}");
-    assert!(rendered.contains("fault"), "tail should show injected faults:\n{rendered}");
+    assert!(
+        rendered.contains("fault"),
+        "tail should show injected faults:\n{rendered}"
+    );
     // The simulator survives the error: it can keep running afterwards.
     let more = sim.run(1);
     assert!(more.is_ok() || more.is_err(), "no panic on continued use");

@@ -60,7 +60,10 @@ fn format_duration(d: Duration) -> String {
 }
 
 fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut f: F) {
-    let mut b = Bencher { iters_hint: 1_000_000, elapsed_per_iter: Duration::ZERO };
+    let mut b = Bencher {
+        iters_hint: 1_000_000,
+        elapsed_per_iter: Duration::ZERO,
+    };
     f(&mut b);
     let per_iter = b.elapsed_per_iter;
     let rate = match throughput {
@@ -68,7 +71,10 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput
             format!("  {:.1} Melem/s", n as f64 / per_iter.as_secs_f64() / 1e6)
         }
         Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
-            format!("  {:.1} MiB/s", n as f64 / per_iter.as_secs_f64() / (1024.0 * 1024.0))
+            format!(
+                "  {:.1} MiB/s",
+                n as f64 / per_iter.as_secs_f64() / (1024.0 * 1024.0)
+            )
         }
         _ => String::new(),
     };
@@ -99,7 +105,11 @@ impl Criterion {
 
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _c: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 }
 

@@ -2,7 +2,7 @@
 //!
 //! The build environment has no registry access, so the workspace vendors
 //! the subset of proptest it actually uses: the [`proptest!`] macro,
-//! [`Strategy`](strategy::Strategy) over ranges / tuples / [`Just`] /
+//! [`Strategy`](strategy::Strategy) over ranges / tuples / [`strategy::Just`] /
 //! [`prop_oneof!`] unions / [`collection::vec`], `prop_map`, and the
 //! `prop_assert*` macros.
 //!
@@ -152,7 +152,11 @@ pub mod strategy {
         where
             Self: Sized,
         {
-            Filter { inner: self, whence, f }
+            Filter {
+                inner: self,
+                whence,
+                f,
+            }
         }
     }
 
@@ -203,7 +207,10 @@ pub mod strategy {
                     return v;
                 }
             }
-            panic!("prop_filter {:?} rejected 10000 consecutive samples", self.whence);
+            panic!(
+                "prop_filter {:?} rejected 10000 consecutive samples",
+                self.whence
+            );
         }
     }
 
