@@ -41,7 +41,7 @@ mjson="$tmp/metrics.json"
 ./target/release/elfsim 641.leela u-elf --warmup 5000 --window 20000 \
     --metrics-json "$mjson" >/dev/null
 if command -v jq >/dev/null; then
-    jq -e '.schema == "elfsim-metrics-v1"
+    jq -e '.schema == "elfsim-metrics-v2"
            and (.runs | length) == 1
            and all(.runs[];
                    ([.fetch_cycles[]] | add) == .cycles
@@ -51,12 +51,28 @@ else
     python3 - "$mjson" <<'EOF'
 import json, sys
 r = json.load(open(sys.argv[1]))
-assert r["schema"] == "elfsim-metrics-v1", r["schema"]
+assert r["schema"] == "elfsim-metrics-v2", r["schema"]
 assert len(r["runs"]) == 1, r["runs"]
 for run in r["runs"]:
     assert sum(run["fetch_cycles"].values()) == run["cycles"], run["arch"]
     assert sum(run["mode_cycles"].values()) == run["cycles"], run["arch"]
 EOF
+fi
+
+# Smoke: a bounded, fixed-seed fuzz run must come up clean (deterministic
+# and offline — same seed, same cases, every run), and the sentinel-mutated
+# run must FAIL, shrink, and write a replayable repro: the differential
+# harness proving it can still detect an injected bug.
+./target/release/elfsim fuzz --seed 1 --cases 120 --budget 120000 >/dev/null
+if ./target/release/elfsim fuzz --seed 1 --cases 5 --sentinel flip-taken \
+    --repro-out "$tmp/repro.txt" >/dev/null 2>&1; then
+    echo "sentinel fuzz run passed but must fail" >&2
+    exit 1
+fi
+test -s "$tmp/repro.txt"
+if ./target/release/elfsim fuzz --repro "$tmp/repro.txt" >/dev/null 2>&1; then
+    echo "sentinel repro replay passed but must fail" >&2
+    exit 1
 fi
 
 # Smoke: the kernel-throughput report must be schema-valid JSON with a

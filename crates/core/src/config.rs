@@ -125,6 +125,15 @@ pub struct SimConfig {
     /// pays a single branch per tick and `SimStats` are bit-identical
     /// either way (`tests/metrics.rs` pins this).
     pub metrics: bool,
+    /// Run per-tick structural invariant checks (FAQ occupancy bounds, RAS
+    /// counter coherence, legal mode transitions, fid monotonicity in
+    /// delivered groups, divergence-queue alignment) and fail the run with
+    /// [`SimError::InvariantViolation`] on the first violation. Off by
+    /// default: when disabled the simulator pays a single branch per tick
+    /// and `SimStats` are bit-identical either way (`tests/differential.rs`
+    /// pins this). The checks are read-only, so enabling them never changes
+    /// simulated behaviour — only whether a latent bug aborts the run.
+    pub check: bool,
 }
 
 impl SimConfig {
@@ -142,6 +151,7 @@ impl SimConfig {
             idle_skip: true,
             recorder_events: 64,
             metrics: false,
+            check: false,
         }
     }
 

@@ -104,6 +104,15 @@ pub enum SimError {
         /// mismatched state bytes).
         reason: String,
     },
+    /// A per-tick structural invariant failed while `SimConfig::check` was
+    /// enabled (see [`crate::check`] for the invariant catalog).
+    InvariantViolation {
+        /// Which invariant failed and how.
+        what: String,
+        /// Machine state at the violating cycle, with the flight-recorder
+        /// tail.
+        report: Box<DiagnosticReport>,
+    },
 }
 
 impl SimError {
@@ -112,6 +121,7 @@ impl SimError {
     pub fn report(&self) -> Option<&DiagnosticReport> {
         match self {
             SimError::Wedged(r) => Some(r),
+            SimError::InvariantViolation { report, .. } => Some(report),
             _ => None,
         }
     }
@@ -144,6 +154,10 @@ impl std::fmt::Display for SimError {
             }
             SimError::Snapshot { reason } => {
                 write!(f, "checkpoint snapshot error: {reason}")
+            }
+            SimError::InvariantViolation { what, report } => {
+                writeln!(f, "invariant violation: {what}")?;
+                write!(f, "{report}")
             }
         }
     }

@@ -435,7 +435,11 @@ where
 /// # Errors
 ///
 /// Propagates [`SimError::Wedged`] if any interval exhausts its
-/// forward-progress cap.
+/// forward-progress cap, and returns [`SimError::InvalidConfig`] if a
+/// selected [`elf_trace::SimPoint`] lands outside
+/// `[warmup, warmup + n_intervals * interval_len)` — indexing the
+/// per-interval IPC table with such a point would panic (or, for
+/// `start < warmup`, wrap the subtraction).
 pub fn simpoint_ipc(
     w: &Workload,
     arch: FetchArch,
@@ -449,7 +453,13 @@ pub fn simpoint_ipc(
 
     let prog = Arc::new(synthesize(&w.spec));
     let mut oracle = Oracle::new(Arc::clone(&prog), w.spec.seed);
+    if interval_len == 0 {
+        return Err(SimError::InvalidConfig {
+            reason: "simpoint interval_len must be at least 1".to_owned(),
+        });
+    }
     let points = simpoint::select_from(&mut oracle, warmup, interval_len, n_intervals, k);
+    validate_simpoints(&points, warmup, interval_len, n_intervals)?;
 
     let mut sim = Simulator::from_program(SimConfig::baseline(arch), prog, w.spec.seed);
     sim.warm_up(warmup)?;
@@ -471,14 +481,64 @@ pub fn simpoint_ipc(
     Ok((weighted, total_insts as f64 / total_cycles.max(1) as f64))
 }
 
+/// Rejects any [`elf_trace::SimPoint`] outside the measured region
+/// `[warmup, warmup + n_intervals * interval_len)`: such a point would
+/// index past the per-interval IPC table (or wrap `p.start - warmup`),
+/// turning a selection bug into a panic deep inside [`simpoint_ipc`].
+fn validate_simpoints(
+    points: &[elf_trace::SimPoint],
+    warmup: u64,
+    interval_len: u64,
+    n_intervals: usize,
+) -> Result<(), SimError> {
+    let end = warmup + interval_len * n_intervals as u64;
+    for p in points {
+        if p.start < warmup || p.start >= end {
+            return Err(SimError::InvalidConfig {
+                reason: format!(
+                    "simpoint at instruction {} is outside the measured \
+                     region [{warmup}, {end})",
+                    p.start
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Geometric mean of a slice of positive values (1.0 for an empty slice).
+///
+/// Every input must be positive: a zero or negative value (a wedged run
+/// reporting 0 IPC, say) has no meaningful geomean contribution, and
+/// silently clamping it would poison the suite mean invisibly. Debug
+/// builds assert on such inputs; release builds still clamp to `1e-12`
+/// for backward compatibility. Callers that may legitimately see
+/// non-positive values should use [`geomean_positive`], which filters
+/// them and reports how many were dropped.
 #[must_use]
 pub fn geomean(xs: &[f64]) -> f64 {
+    debug_assert!(
+        xs.iter().all(|&x| x > 0.0),
+        "geomean over non-positive values {xs:?}: a zero-IPC (wedged?) run \
+         would silently poison the mean; filter with geomean_positive"
+    );
     if xs.is_empty() {
         return 1.0;
     }
     let log_sum: f64 = xs.iter().map(|&x| x.max(1e-12).ln()).sum();
     (log_sum / xs.len() as f64).exp()
+}
+
+/// Geometric mean of the positive values in `xs`, plus how many
+/// non-positive values were dropped. Use this instead of [`geomean`] when
+/// the inputs may contain zero-IPC (wedged) runs: the dropped count makes
+/// the exclusion visible so a report can flag it rather than averaging a
+/// clamped near-zero into the suite number.
+#[must_use]
+pub fn geomean_positive(xs: &[f64]) -> (f64, usize) {
+    let kept: Vec<f64> = xs.iter().copied().filter(|&x| x > 0.0).collect();
+    let dropped = xs.len() - kept.len();
+    (geomean(&kept), dropped)
 }
 
 /// Relative IPC (speedup) of `test` over `baseline`.
@@ -487,23 +547,34 @@ pub fn speedup(test: &RunResult, baseline: &RunResult) -> f64 {
     test.ipc() / baseline.ipc().max(1e-12)
 }
 
-/// Formats a fixed-width table row.
+/// Formats a fixed-width table row. Cells beyond `widths` are rendered at
+/// their natural width rather than dropped, so a ragged row is visible in
+/// the output instead of silently truncated.
 #[must_use]
 pub fn fmt_row(cells: &[String], widths: &[usize]) -> String {
     let mut s = String::new();
-    for (c, w) in cells.iter().zip(widths) {
-        s.push_str(&format!("{c:>w$} ", w = w));
+    for (i, c) in cells.iter().enumerate() {
+        let w = widths.get(i).copied().unwrap_or(0);
+        s.push_str(&format!("{c:>w$} "));
     }
     s.trim_end().to_owned()
 }
 
 /// Renders a simple aligned table (header + rows) for bench output.
+/// Column widths are sized from the content of *every* row as well as the
+/// header, so a cell longer than its header (a long workload name) widens
+/// its column instead of shifting every later column out of alignment.
 #[must_use]
 pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
-    let ncols = header.len();
-    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    let ncols = header
+        .len()
+        .max(rows.iter().map(Vec::len).max().unwrap_or(0));
+    let mut widths = vec![0usize; ncols];
+    for (i, h) in header.iter().enumerate() {
+        widths[i] = h.len();
+    }
     for r in rows {
-        for (i, c) in r.iter().enumerate().take(ncols) {
+        for (i, c) in r.iter().enumerate() {
             widths[i] = widths[i].max(c.len());
         }
     }
@@ -539,6 +610,50 @@ mod tests {
     }
 
     #[test]
+    fn geomean_positive_surfaces_dropped_values() {
+        // A wedged run reporting 0 IPC must not poison the suite mean: the
+        // filtered variant excludes it and says so.
+        let (g, dropped) = geomean_positive(&[2.0, 0.0, 8.0, -1.0]);
+        assert!((g - 4.0).abs() < 1e-9);
+        assert_eq!(dropped, 2);
+        let (g, dropped) = geomean_positive(&[2.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-9);
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-positive")]
+    fn geomean_asserts_on_non_positive_input_in_debug() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn out_of_range_simpoints_are_rejected() {
+        use elf_trace::SimPoint;
+        let p = |start| SimPoint {
+            start,
+            length: 100,
+            weight: 1.0,
+        };
+        // In range: [1000, 1000 + 10*100) = [1000, 2000).
+        assert!(validate_simpoints(&[p(1000), p(1900)], 1000, 100, 10).is_ok());
+        // Before warm-up: p.start - warmup would wrap.
+        let err = validate_simpoints(&[p(999)], 1000, 100, 10).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig { .. }), "{err}");
+        // Past the last interval: would index out of bounds.
+        let err = validate_simpoints(&[p(2000)], 1000, 100, 10).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig { .. }), "{err}");
+    }
+
+    #[test]
+    fn zero_interval_len_is_rejected() {
+        let w = workloads::by_name("619.lbm").unwrap();
+        let err = simpoint_ipc(&w, FetchArch::Dcf, 1_000, 0, 10, 4).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig { .. }), "{err}");
+    }
+
+    #[test]
     fn speedup_is_ipc_ratio() {
         let w = workloads::by_name("619.lbm").unwrap();
         let base = run_one(&w, FetchArch::Dcf, 5_000, 10_000).expect("clean run");
@@ -568,5 +683,39 @@ mod tests {
         assert_eq!(lines.len(), 4);
         assert!(lines[0].contains("name"));
         assert!(lines[3].contains("longer"));
+    }
+
+    #[test]
+    fn long_cells_widen_their_column_instead_of_shifting_later_ones() {
+        // The second column's cells are longer than its header: every
+        // column must still end at the same offset on every line.
+        let t = render_table(
+            &["arch", "wl", "ipc"],
+            &[
+                vec!["DCF".into(), "astar_very_long_name".into(), "1.00".into()],
+                vec!["U-ELF".into(), "mcf".into(), "2.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        let end_of = |line: &str, cell: &str| line.find(cell).unwrap() + cell.len();
+        assert_eq!(
+            end_of(lines[0], "wl"),
+            end_of(lines[2], "astar_very_long_name")
+        );
+        assert_eq!(
+            end_of(lines[2], "astar_very_long_name"),
+            end_of(lines[3], "mcf")
+        );
+        assert_eq!(end_of(lines[0], "ipc"), end_of(lines[3], "2.5"));
+    }
+
+    #[test]
+    fn ragged_rows_render_every_cell() {
+        // Rows wider than the header used to lose their extra cells.
+        let t = render_table(&["a"], &[vec!["1".into(), "extra".into()]]);
+        assert!(t.contains("extra"), "{t}");
+        // And fmt_row itself must not drop cells beyond the width list.
+        let row = fmt_row(&["x".into(), "y".into()], &[3]);
+        assert!(row.contains('y'), "{row}");
     }
 }

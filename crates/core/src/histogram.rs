@@ -2,12 +2,16 @@
 //! delivery rate, ...).
 
 /// A histogram over `0..=max` with unit-width buckets; samples above `max`
-/// land in the last bucket.
+/// land in the last bucket. Clamped samples are additionally counted in
+/// [`Histogram::overflow_count`] — without that signal a saturated
+/// histogram silently reports `p99 == max` as if the tail ended there.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     total: u64,
     sum: u64,
+    /// Samples clamped into the last bucket because they exceeded `max`.
+    overflow: u64,
 }
 
 impl Histogram {
@@ -23,13 +27,17 @@ impl Histogram {
             buckets: vec![0; max + 1],
             total: 0,
             sum: 0,
+            overflow: 0,
         }
     }
 
     /// Records one sample.
     pub fn record(&mut self, value: usize) {
-        let i = value.min(self.buckets.len() - 1);
-        self.buckets[i] += 1;
+        let last = self.buckets.len() - 1;
+        if value > last {
+            self.overflow += 1;
+        }
+        self.buckets[value.min(last)] += 1;
         self.total += 1;
         self.sum += value as u64;
     }
@@ -37,8 +45,11 @@ impl Histogram {
     /// Records the same sample `n` times in one step (bulk accounting for
     /// skipped idle cycles; equivalent to `n` [`Histogram::record`] calls).
     pub fn record_n(&mut self, value: usize, n: u64) {
-        let i = value.min(self.buckets.len() - 1);
-        self.buckets[i] += n;
+        let last = self.buckets.len() - 1;
+        if value > last {
+            self.overflow += n;
+        }
+        self.buckets[value.min(last)] += n;
         self.total += n;
         self.sum += value as u64 * n;
     }
@@ -77,6 +88,16 @@ impl Histogram {
         self.buckets.len() - 1
     }
 
+    /// Number of samples that exceeded `max` and were clamped into the
+    /// last bucket. When this is non-zero, upper quantiles read from the
+    /// clamped bucket ([`Histogram::quantile`] can report at most `max`)
+    /// and under-state the true tail — reports surface this count so a
+    /// saturated histogram is visibly saturated.
+    #[must_use]
+    pub fn overflow_count(&self) -> u64 {
+        self.overflow
+    }
+
     /// Fraction of samples in bucket `i` (clamped bucket included).
     #[must_use]
     pub fn fraction_at(&self, i: usize) -> f64 {
@@ -95,10 +116,16 @@ impl Histogram {
     pub fn merge(&mut self, other: &Histogram) {
         let last = self.buckets.len() - 1;
         for (i, &b) in other.buckets.iter().enumerate() {
+            if i > last {
+                // Excess buckets clamp on merge exactly like out-of-range
+                // samples clamp on record, and count as overflow here too.
+                self.overflow += b;
+            }
             self.buckets[i.min(last)] += b;
         }
         self.total += other.total;
         self.sum += other.sum;
+        self.overflow += other.overflow;
     }
 
     /// Clears all samples.
@@ -106,6 +133,7 @@ impl Histogram {
         self.buckets.iter_mut().for_each(|b| *b = 0);
         self.total = 0;
         self.sum = 0;
+        self.overflow = 0;
     }
 
     /// Serializes the bucket counts and accumulators.
@@ -114,6 +142,7 @@ impl Histogram {
         self.buckets.save(w);
         self.total.save(w);
         self.sum.save(w);
+        self.overflow.save(w);
     }
 
     /// Restores state saved by [`Histogram::save_state`] into a histogram
@@ -139,6 +168,7 @@ impl Histogram {
         self.buckets = buckets;
         self.total = Snap::load(r)?;
         self.sum = Snap::load(r)?;
+        self.overflow = Snap::load(r)?;
         Ok(())
     }
 }
@@ -162,6 +192,39 @@ mod tests {
         let mut h = Histogram::new(4);
         h.record(100);
         assert!((h.fraction_at(4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturated_histogram_reports_overflow() {
+        let mut h = Histogram::new(4);
+        h.record(3);
+        h.record(100);
+        h.record_n(50, 2);
+        // Every upper quantile reads from the clamped bucket: the true p99
+        // is 100, but the histogram can only say 4 — overflow_count is the
+        // signal that the tail is cut off.
+        assert_eq!(h.quantile(1.0), 4);
+        assert_eq!(h.overflow_count(), 3);
+        assert_eq!(h.count(), 4);
+
+        let mut other = Histogram::new(4);
+        other.record(200);
+        h.merge(&other);
+        assert_eq!(h.overflow_count(), 4);
+
+        h.reset();
+        assert_eq!(h.overflow_count(), 0);
+    }
+
+    #[test]
+    fn merge_from_wider_histogram_counts_clamped_buckets_as_overflow() {
+        let mut wide = Histogram::new(8);
+        wide.record(6);
+        wide.record(2);
+        let mut narrow = Histogram::new(4);
+        narrow.merge(&wide);
+        assert_eq!(narrow.overflow_count(), 1);
+        assert!((narrow.fraction_at(4) - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -20,10 +20,12 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod check;
 pub mod config;
 pub mod error;
 pub mod experiment;
 pub mod fault;
+pub mod fuzz;
 pub mod histogram;
 pub mod memdep;
 pub mod metrics;
@@ -33,12 +35,14 @@ pub mod snapshot;
 pub mod stats;
 pub mod throughput;
 
+pub use check::{commit_stream, differential_check, functional_stream, CommitRecord};
 pub use config::{BackendConfig, SimConfig};
 pub use error::{DiagnosticReport, SimError};
 pub use experiment::{
     geomean, run_grid, CellError, CellFailure, GridCell, GridOptions, GridReport, RunResult,
 };
 pub use fault::{FaultKind, FaultPlan};
+pub use fuzz::{run_fuzz, FuzzCase, FuzzOptions, FuzzOutcome, Sentinel};
 pub use metrics::{Metrics, MetricsRun};
 pub use recorder::{FlightRecorder, PipelineEvent, TimedEvent};
 pub use sim::Simulator;

@@ -22,8 +22,10 @@ use elf_frontend::{FetchCycleCause, FetchCycleProbe};
 use elf_types::Cycle;
 use std::fmt::Write as _;
 
-/// Schema tag written into every metrics report.
-pub const SCHEMA: &str = "elfsim-metrics-v1";
+/// Schema tag written into every metrics report. v2 added the per-histogram
+/// `overflow` count (samples clamped into the last bucket), so a saturated
+/// histogram is visibly saturated instead of reporting a truncated p90/max.
+pub const SCHEMA: &str = "elfsim-metrics-v2";
 
 /// JSON keys of the mode-occupancy slots, indexed by
 /// [`FetchCycleProbe::mode_index`].
@@ -242,12 +244,13 @@ pub struct MetricsRun {
 fn json_hist(out: &mut String, key: &str, h: &Histogram, comma: bool) {
     let _ = writeln!(
         out,
-        "      \"{key}\": {{\"count\": {}, \"mean\": {:.3}, \"p50\": {}, \"p90\": {}, \"max\": {}}}{}",
+        "      \"{key}\": {{\"count\": {}, \"mean\": {:.3}, \"p50\": {}, \"p90\": {}, \"max\": {}, \"overflow\": {}}}{}",
         h.count(),
         h.mean(),
         h.quantile(0.5),
         h.quantile(0.9),
         h.quantile(1.0),
+        h.overflow_count(),
         if comma { "," } else { "" },
     );
 }
@@ -516,6 +519,7 @@ mod tests {
         };
         let json = render_json("641.leela", std::slice::from_ref(&run));
         assert!(json.contains(&format!("\"schema\": \"{SCHEMA}\"")));
+        assert!(json.contains("\"overflow\": 0"));
         assert!(json.contains("\"faq_empty\": 10"));
         assert!(json.contains("\"useful_fetch\": 0"));
         assert!(json.contains("\"decoupled\": 10"));

@@ -79,6 +79,13 @@ pub struct Simulator {
     /// Cycle-attribution registry (`SimConfig::metrics`; `None` = off, the
     /// default — the disabled path costs one branch per tick).
     metrics: Option<Box<Metrics>>,
+    /// Per-tick structural invariant checker (`SimConfig::check`; `None` =
+    /// off, the default — the same zero-cost-when-disabled shape as
+    /// `metrics`, and read-only so stats stay bit-identical).
+    checker: Option<Box<crate::check::Checker>>,
+    /// Retired commit-record log for the differential harness (scratch:
+    /// enabled by `record_commits`, never serialized).
+    commit_log: Option<Vec<crate::check::CommitRecord>>,
     // Reusable per-tick buffers (scratch, not simulated state; never
     // serialized).
     tick_out: elf_frontend::TickOutput,
@@ -153,6 +160,8 @@ impl Simulator {
             delivery_rate: Histogram::new(cfg.frontend.fetch_width * 2),
             skipped_cycles: 0,
             metrics: cfg.metrics.then(|| Box::new(Metrics::new())),
+            checker: cfg.check.then(|| Box::new(crate::check::Checker::new())),
+            commit_log: None,
             tick_out: elf_frontend::TickOutput::default(),
             retired_scratch: Vec::new(),
             cfg,
@@ -238,6 +247,12 @@ impl Simulator {
                 return Err(SimError::Wedged(Box::new(self.diagnostic_report(target))));
             }
             self.tick();
+            if let Some(what) = self.recorded_violation() {
+                return Err(SimError::InvariantViolation {
+                    what,
+                    report: Box::new(self.diagnostic_report(target)),
+                });
+            }
             if self.retired >= target {
                 // Don't skip past the window boundary: the reference walk
                 // returns right here, so a trailing bulk advance would
@@ -404,6 +419,22 @@ impl Simulator {
         self.metrics.as_deref()
     }
 
+    /// Starts recording the retired commit stream — one
+    /// [`crate::check::CommitRecord`] per retirement — for the
+    /// differential harness. The log is scratch, not simulated state: it
+    /// is never serialized into a checkpoint, so a restored simulator
+    /// starts with recording off and the caller re-enables it.
+    pub fn record_commits(&mut self) {
+        self.commit_log = Some(Vec::new());
+    }
+
+    /// Takes the commit records accumulated since
+    /// [`Simulator::record_commits`] and stops recording (empty if
+    /// recording was never enabled).
+    pub fn take_commits(&mut self) -> Vec<crate::check::CommitRecord> {
+        self.commit_log.take().unwrap_or_default()
+    }
+
     /// Statistics since the last reset.
     #[must_use]
     pub fn stats(&self) -> SimStats {
@@ -473,9 +504,10 @@ impl Simulator {
 
     /// Serializes every dynamic structure: oracle, front-end (predictors,
     /// BTBs, FAQ, divergence tracker), back-end, memory system, path
-    /// tracker, fault injector, flight recorder, statistic counters and
-    /// histograms. Environment-derived tracing flags and the
-    /// diagnostics-only `recent` ring are not state and are skipped.
+    /// tracker, fault injector, flight recorder, statistic counters,
+    /// histograms and the invariant checker's history. Environment-derived
+    /// tracing flags, the diagnostics-only `recent` ring and the
+    /// differential harness's commit log are not state and are skipped.
     fn save_state(&self, w: &mut elf_types::SnapWriter) {
         use elf_types::Snap;
         self.oracle.save_state(w);
@@ -514,6 +546,13 @@ impl Simulator {
             Some(m) => {
                 w.u8(1);
                 m.save_state(w);
+            }
+        }
+        match &self.checker {
+            None => w.u8(0),
+            Some(c) => {
+                w.u8(1);
+                c.save_state(w);
             }
         }
     }
@@ -570,6 +609,18 @@ impl Simulator {
                     "snapshot metrics presence (tag {tag}) does not match the \
                      configuration (metrics {})",
                     if m.is_some() { "on" } else { "off" }
+                )))
+            }
+        }
+        let c_tag = r.u8("checker tag")?;
+        match (&mut self.checker, c_tag) {
+            (None, 0) => {}
+            (Some(c), 1) => c.load_state(r)?,
+            (c, tag) => {
+                return Err(SnapError::mismatch(format!(
+                    "snapshot checker presence (tag {tag}) does not match the \
+                     configuration (check {})",
+                    if c.is_some() { "on" } else { "off" }
                 )))
             }
         }
@@ -641,6 +692,9 @@ impl Simulator {
         // Path tracking: bind delivered instructions against the oracle.
         let tracing = self.trace_gaps;
         for d in &out.delivered {
+            if let Some(ck) = &mut self.checker {
+                ck.observe_delivery(now, d.fid);
+            }
             let sinst = d.inst.sinst;
             if tracing {
                 self.recent.push_back((
@@ -810,7 +864,55 @@ impl Simulator {
                 .record(now, PipelineEvent::FaqEdge { empty: faq_empty });
         }
 
+        if self.checker.is_some() {
+            self.check_tick(now);
+        }
+
         self.cycle += 1;
+    }
+
+    /// End-of-tick invariant sweep (`SimConfig::check`). Every probe is
+    /// read-only — this must not perturb simulation — and the first
+    /// failure is recorded on the checker, which `run` surfaces as
+    /// [`SimError::InvariantViolation`] right after this tick.
+    fn check_tick(&mut self, now: Cycle) {
+        let fe_violation = self.fe.invariant_violation();
+        let mode = self.fe.cycle_probe(now).mode_index() as u8;
+        let rob_len = self.be.rob_len();
+        let is_elf = matches!(self.cfg.arch, elf_frontend::FetchArch::Elf(_));
+        let Some(ck) = &mut self.checker else { return };
+        if let Some(v) = fe_violation {
+            ck.fail(now, format!("front-end: {v}"));
+        }
+        if rob_len > self.cfg.backend.rob_entries {
+            ck.fail(
+                now,
+                format!(
+                    "rob holds {rob_len} instructions > capacity {}",
+                    self.cfg.backend.rob_entries
+                ),
+            );
+        }
+        if self.cursor <= self.retired_seq && self.retired != 0 {
+            ck.fail(
+                now,
+                format!(
+                    "oracle cursor {} at or below the last retired sequence \
+                     number {} (the bind point can never regress past \
+                     retirement)",
+                    self.cursor, self.retired_seq
+                ),
+            );
+        }
+        ck.observe_mode(now, mode, is_elf);
+    }
+
+    /// The first invariant violation recorded by the checker, if any
+    /// (always `None` when `SimConfig::check` is off).
+    fn recorded_violation(&self) -> Option<String> {
+        self.checker
+            .as_ref()
+            .and_then(|c| c.violation().map(str::to_owned))
     }
 
     /// Squashes everything in flight and resyncs fetch to the oracle at
@@ -928,6 +1030,13 @@ impl Simulator {
         self.retired += 1;
         self.retired_seq = seq;
         self.oracle.release_before(seq.saturating_sub(1));
+        if let Some(log) = &mut self.commit_log {
+            log.push(crate::check::CommitRecord {
+                pc: b.sinst.pc,
+                taken: b.taken,
+                target: b.next_pc,
+            });
+        }
 
         let kind = b.sinst.branch_kind();
         if let Some(k) = kind {

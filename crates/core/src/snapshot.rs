@@ -44,7 +44,7 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"ELFSNAP\0";
 /// Current snapshot layout version. Readers reject any other value: the
 /// format is not self-describing, so a layout change anywhere in the
 /// serialized state must bump this.
-pub const SNAPSHOT_VERSION: u32 = 3;
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// A complete, restorable simulator checkpoint.
 #[derive(Debug, Clone)]
@@ -437,6 +437,7 @@ pub(crate) fn save_sim_config(c: &SimConfig, w: &mut SnapWriter) {
     c.idle_skip.save(w);
     c.recorder_events.save(w);
     c.metrics.save(w);
+    c.check.save(w);
 }
 
 pub(crate) fn load_sim_config(r: &mut SnapReader<'_>) -> Result<SimConfig, SnapError> {
@@ -460,6 +461,7 @@ pub(crate) fn load_sim_config(r: &mut SnapReader<'_>) -> Result<SimConfig, SnapE
         idle_skip: Snap::load(r)?,
         recorder_events: Snap::load(r)?,
         metrics: Snap::load(r)?,
+        check: Snap::load(r)?,
     })
 }
 
@@ -506,6 +508,7 @@ mod tests {
         cfg.progress_cap_base = 12_345;
         cfg.idle_skip = false;
         cfg.metrics = true;
+        cfg.check = true;
         assert_eq!(roundtrip_cfg(&cfg), cfg);
     }
 

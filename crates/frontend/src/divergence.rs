@@ -236,6 +236,49 @@ impl DivergenceTracker {
         self.divergences
     }
 
+    /// Checks the queue-alignment invariants and describes the first
+    /// violation (`None` when sound). Structural facts by construction:
+    /// the coupled bitvector never exceeds its capacity (recording is
+    /// gated on [`DivergenceTracker::coupled_has_room`]), and each target
+    /// queue holds at most one entry per taken-predicted slot of its own
+    /// bitvector (targets are pushed only alongside a taken slot and
+    /// popped in lockstep with it). Used by the simulator's invariant mode
+    /// (`SimConfig::check`); read-only.
+    #[must_use]
+    pub fn invariant_violation(&self) -> Option<String> {
+        if self.coupled_vec.len() > self.vec_capacity {
+            return Some(format!(
+                "coupled bitvector holds {} > capacity {}",
+                self.coupled_vec.len(),
+                self.vec_capacity
+            ));
+        }
+        if self.coupled_tq.len() > self.tq_capacity {
+            return Some(format!(
+                "coupled target queue holds {} > capacity {}",
+                self.coupled_tq.len(),
+                self.tq_capacity
+            ));
+        }
+        let coupled_taken = self.coupled_vec.iter().filter(|c| c.slot.taken).count();
+        if self.coupled_tq.len() > coupled_taken {
+            return Some(format!(
+                "coupled target queue holds {} entries for {} taken slots",
+                self.coupled_tq.len(),
+                coupled_taken
+            ));
+        }
+        let decoupled_taken = self.decoupled_vec.iter().filter(|d| d.slot.taken).count();
+        if self.decoupled_tq.len() > decoupled_taken {
+            return Some(format!(
+                "decoupled target queue holds {} entries for {} taken slots",
+                self.decoupled_tq.len(),
+                decoupled_taken
+            ));
+        }
+        None
+    }
+
     /// Serializes both bitvectors, both target queues and the divergence
     /// counter.
     pub fn save_state(&self, w: &mut elf_types::SnapWriter) {

@@ -119,7 +119,7 @@ impl FetchCycleCause {
         self as usize
     }
 
-    /// Stable snake_case key used in the `elfsim-metrics-v1` JSON report.
+    /// Stable snake_case key used in the `elfsim-metrics-v2` JSON report.
     #[must_use]
     pub fn key(self) -> &'static str {
         match self {
@@ -538,6 +538,88 @@ impl Frontend {
     pub fn reset_stats(&mut self) {
         self.stats = FrontendStats::default();
         self.btb.reset_stats();
+    }
+
+    /// Checks the front-end's structural invariants and describes the
+    /// first violation (`None` when sound). Read-only — called per tick by
+    /// the simulator's invariant mode (`SimConfig::check`); see
+    /// `elf_core::check` for the catalog. The checks:
+    ///
+    /// - FAQ occupancy never exceeds the configured capacity, and the
+    ///   partially-consumed-head cursor stays inside the head block;
+    /// - every RAS (decoupled speculative, architectural retire copy,
+    ///   coupled) keeps `live <= capacity` and `tos >= live`;
+    /// - the fetch mode is legal for the architecture: NoDCF is always
+    ///   coupled, plain DCF always decoupled, and a resync stall can only
+    ///   exist in coupled mode on an ELF;
+    /// - retirement ids never run ahead of allocation
+    ///   (`last_retired_fid <= fid_next`);
+    /// - the U-ELF divergence queues stay aligned (see
+    ///   [`DivergenceTracker::invariant_violation`]).
+    #[must_use]
+    pub fn invariant_violation(&self) -> Option<String> {
+        if self.faq.len() > self.cfg.faq_entries {
+            return Some(format!(
+                "faq holds {} blocks > capacity {}",
+                self.faq.len(),
+                self.cfg.faq_entries
+            ));
+        }
+        match self.faq.iter().next() {
+            Some(head) => {
+                if self.faq.head_consumed() >= head.inst_count {
+                    return Some(format!(
+                        "faq head cursor {} outside head block of {} insts",
+                        self.faq.head_consumed(),
+                        head.inst_count
+                    ));
+                }
+            }
+            None => {
+                if self.faq.head_consumed() != 0 {
+                    return Some(format!(
+                        "faq head cursor {} nonzero with an empty faq",
+                        self.faq.head_consumed()
+                    ));
+                }
+            }
+        }
+        for (name, ras) in [
+            ("speculative", &self.ras),
+            ("retire", &self.retire_ras),
+            ("coupled", &self.cpl_ras),
+        ] {
+            if let Some(v) = ras.invariant_violation() {
+                return Some(format!("{name} {v}"));
+            }
+        }
+        match self.arch {
+            FetchArch::NoDcf if self.mode != FetchMode::Coupled => {
+                return Some("NoDCF front-end left coupled mode".to_owned());
+            }
+            FetchArch::Dcf if self.mode != FetchMode::Decoupled => {
+                return Some("plain DCF front-end entered coupled mode".to_owned());
+            }
+            _ => {}
+        }
+        if self.stall.is_some() {
+            if self.mode != FetchMode::Coupled {
+                return Some("resync stall present in decoupled mode".to_owned());
+            }
+            if self.elf_variant().is_none() {
+                return Some(format!(
+                    "resync stall present on non-ELF arch {:?}",
+                    self.arch
+                ));
+            }
+        }
+        if self.last_retired_fid > self.fid_next {
+            return Some(format!(
+                "retired fid {} ahead of allocator {}",
+                self.last_retired_fid, self.fid_next
+            ));
+        }
+        self.div.invariant_violation()
     }
 
     /// Installs a BTB entry directly, bypassing retirement. Used by the

@@ -112,6 +112,26 @@ impl Ras {
         self.slots.len() * 48
     }
 
+    /// Checks the counter invariants (`live <= capacity`, `tos >= live` —
+    /// the stack can never hold more live entries than positions pushed)
+    /// and describes the first violation. `None` means the stack is
+    /// structurally sound. Used by the simulator's invariant mode
+    /// (`SimConfig::check`); read-only.
+    #[must_use]
+    pub fn invariant_violation(&self) -> Option<String> {
+        let cap = self.slots.len() as u64;
+        if self.live > cap {
+            return Some(format!("ras live {} exceeds capacity {cap}", self.live));
+        }
+        if self.tos < self.live {
+            return Some(format!(
+                "ras tos {} below live count {} (counters inconsistent)",
+                self.tos, self.live
+            ));
+        }
+        None
+    }
+
     /// Serializes the stack contents and position counters.
     pub fn save_state(&self, w: &mut elf_types::SnapWriter) {
         use elf_types::Snap;

@@ -12,6 +12,8 @@
 //! elfsim --resume run.ckpt               # continue an interrupted run
 //! elfsim 641.leela u-elf --metrics       # cycle-attribution table
 //! elfsim 641.leela --compare --metrics-json m.json   # machine-readable
+//! elfsim fuzz --seed 1 --cases 200       # differential fuzzing
+//! elfsim fuzz --repro fuzz-repro.txt     # replay a shrunk failure
 //! ```
 //!
 //! Exit codes: 0 success, 1 simulation error (wedge / malformed program /
@@ -78,6 +80,8 @@ fn usage(problem: &str) -> ExitCode {
                 elfsim <workload> --compare [--jobs N] [--retries N] [...]\n\
                 elfsim --resume F [--window N] [--checkpoint-every N] [--checkpoint-file F]\n\
                 elfsim [workload] --bench-json F [--bench-baseline F] [--warmup N] [--window N]\n\
+                elfsim fuzz [--seed N] [--cases N] [--budget N] [--sentinel flip-taken]\n\
+                       [--repro-out F] | fuzz --repro F\n\
                 elfsim --list\n\
          arch: nodcf | dcf | l-elf | ret-elf | ind-elf | cond-elf | u-elf\n\
          inject kinds: flush | btb | icache | mispredict | all \
@@ -91,9 +95,12 @@ fn usage(problem: &str) -> ExitCode {
          to F; --bench-baseline F fails the run when any architecture drops\n\
          below 70% of the baseline report's MIPS. --metrics prints the\n\
          cycle-attribution table (every cycle charged to exactly one cause);\n\
-         --metrics-json F writes the elfsim-metrics-v1 report to F. Both\n\
+         --metrics-json F writes the elfsim-metrics-v2 report to F. Both\n\
          also work with --compare and --resume (the snapshot must have been\n\
-         taken with metrics enabled)."
+         taken with metrics enabled). elfsim fuzz runs seeded differential\n\
+         fuzzing (commit streams vs. the functional oracle, invariant checks\n\
+         on); a failure is shrunk and written to --repro-out as a replayable\n\
+         repro file."
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -303,8 +310,136 @@ fn bench(
     ExitCode::SUCCESS
 }
 
+/// `elfsim fuzz`: seeded differential fuzzing (see `elf_core::fuzz`).
+/// Without `--repro`, generates and runs cases; a failure is shrunk to a
+/// minimal case and written to `--repro-out` (default `fuzz-repro.txt`).
+/// With `--repro F`, replays a previously written repro file instead.
+fn fuzz_cmd(args: &[String]) -> ExitCode {
+    use elf_sim::core::fuzz::{run_case, run_fuzz, FuzzCase, FuzzOptions, Sentinel};
+
+    let mut opts = FuzzOptions {
+        seed: 1,
+        cases: 200,
+        budget: 0,
+        sentinel: None,
+    };
+    let mut repro: Option<PathBuf> = None;
+    let mut repro_out = PathBuf::from("fuzz-repro.txt");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" | "--cases" | "--budget" => {
+                let flag = args[i].as_str();
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) else {
+                    return usage(&format!("{flag} needs an unsigned integer value"));
+                };
+                match flag {
+                    "--seed" => opts.seed = v,
+                    "--cases" => opts.cases = v,
+                    _ => opts.budget = v,
+                }
+                i += 2;
+            }
+            "--sentinel" => {
+                let Some(v) = args.get(i + 1) else {
+                    return usage("--sentinel needs a kind (flip-taken)");
+                };
+                let Some(s) = Sentinel::from_key(v) else {
+                    return usage(&format!("unknown sentinel {v:?} (expected flip-taken)"));
+                };
+                opts.sentinel = Some(s);
+                i += 2;
+            }
+            "--repro" | "--repro-out" => {
+                let flag = args[i].as_str();
+                let Some(v) = args.get(i + 1) else {
+                    return usage(&format!("{flag} needs a file path"));
+                };
+                let path = PathBuf::from(v);
+                if flag == "--repro" {
+                    repro = Some(path);
+                } else {
+                    repro_out = path;
+                }
+                i += 2;
+            }
+            other => return usage(&format!("unknown fuzz argument {other:?}")),
+        }
+    }
+
+    if let Some(path) = repro {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                return ExitCode::from(EXIT_SIM);
+            }
+        };
+        let case = match FuzzCase::from_repro(&text) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{}: {e}", path.display());
+                return ExitCode::from(EXIT_SIM);
+            }
+        };
+        return match run_case(&case) {
+            None => {
+                println!("repro {} passes (the bug is fixed)", path.display());
+                ExitCode::SUCCESS
+            }
+            Some(what) => {
+                eprintln!("repro {} still fails:\n{what}", path.display());
+                ExitCode::from(EXIT_SIM)
+            }
+        };
+    }
+
+    println!(
+        "fuzzing: seed {} — up to {} cases{}{}",
+        opts.seed,
+        opts.cases,
+        if opts.budget > 0 {
+            format!(", budget {} instructions", opts.budget)
+        } else {
+            String::new()
+        },
+        if opts.sentinel.is_some() {
+            " [sentinel active]"
+        } else {
+            ""
+        }
+    );
+    let outcome = run_fuzz(&opts);
+    match outcome.failure {
+        None => {
+            println!(
+                "ok: {} cases, {} instructions, no failures",
+                outcome.cases_run, outcome.insts_run
+            );
+            ExitCode::SUCCESS
+        }
+        Some(f) => {
+            eprintln!("case {} FAILED:\n  {}", f.case_index, f.what);
+            eprintln!("shrunk failure:\n  {}", f.shrunk_what);
+            let text = f.shrunk.to_repro();
+            match std::fs::write(&repro_out, &text) {
+                Ok(()) => eprintln!(
+                    "minimal repro written to {} (replay: elfsim fuzz --repro {})",
+                    repro_out.display(),
+                    repro_out.display()
+                ),
+                Err(e) => eprintln!("cannot write repro {}: {e}", repro_out.display()),
+            }
+            ExitCode::from(EXIT_SIM)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("fuzz") {
+        return fuzz_cmd(&args[1..]);
+    }
     if args.iter().any(|a| a == "--list") {
         if args.len() > 1 {
             return usage("--list takes no other arguments");

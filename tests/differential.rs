@@ -1,0 +1,110 @@
+//! Differential correctness harness: the retired commit stream is an
+//! architectural fact, so it must be identical across every fetch
+//! architecture, with and without idle-cycle skipping, across a
+//! checkpoint/restore split — and equal to the functional oracle replay.
+//! Invariant checking (`SimConfig::check`) is enabled throughout, and a
+//! separate test pins that enabling it leaves `SimStats` bit-identical.
+
+use elf_sim::core::check::{self, commit_stream, functional_stream};
+use elf_sim::core::{FaultPlan, SimConfig, Simulator};
+use elf_sim::frontend::FetchArch;
+use elf_sim::trace::{synthesize, Program, ProgramSpec};
+use std::sync::Arc;
+
+fn small_program(seed: u64) -> (Arc<Program>, u64) {
+    let spec = ProgramSpec {
+        name: "differential".to_owned(),
+        seed,
+        num_funcs: 24,
+        blocks_per_func: (3, 9),
+        insts_per_block: (2, 7),
+        ..ProgramSpec::default()
+    };
+    (Arc::new(synthesize(&spec)), seed)
+}
+
+#[test]
+fn commit_streams_match_across_all_variants() {
+    let (prog, seed) = small_program(11);
+    check::differential_check(&prog, seed, 2_500).unwrap_or_else(|d| panic!("{d}"));
+}
+
+#[test]
+fn commit_streams_match_under_fault_injection() {
+    // Faults perturb timing and prediction, never architecture: the
+    // retired stream must still equal the clean functional replay.
+    let (prog, seed) = small_program(13);
+    let n = 2_000;
+    let reference = functional_stream(&prog, seed, n);
+    for arch in [FetchArch::Dcf, check::ALL_ARCHS[6]] {
+        let mut cfg = SimConfig::baseline(arch);
+        cfg.check = true;
+        cfg.fault = Some(FaultPlan::uniform(80, 9));
+        let stream = commit_stream(cfg, &prog, seed, n, Some(n / 2)).expect("faulted run");
+        if let Some(d) =
+            check::first_divergence("functional replay", &reference, "faulted", &stream)
+        {
+            panic!("{arch:?}: {d}");
+        }
+    }
+}
+
+#[test]
+fn check_mode_leaves_stats_bit_identical() {
+    // The invariant sweep must be read-only: the same run with checking
+    // on and off produces bit-identical SimStats and histograms.
+    let (prog, seed) = small_program(17);
+    for arch in check::ALL_ARCHS {
+        let run = |check: bool| {
+            let mut cfg = SimConfig::baseline(arch);
+            cfg.check = check;
+            cfg.idle_skip = true;
+            let mut sim =
+                Simulator::try_from_program(cfg, Arc::clone(&prog), seed).expect("valid config");
+            let stats = sim.run(4_000).expect("clean run");
+            let hist = format!(
+                "rob: n={} mean={:.6} | del: n={} mean={:.6}",
+                sim.rob_occupancy().count(),
+                sim.rob_occupancy().mean(),
+                sim.delivery_rate().count(),
+                sim.delivery_rate().mean(),
+            );
+            (stats, hist)
+        };
+        assert_eq!(
+            run(false),
+            run(true),
+            "{arch:?}: checking perturbed the run"
+        );
+    }
+}
+
+#[test]
+fn checker_history_survives_a_checkpoint() {
+    // A split run with checking on must behave exactly like an unsplit
+    // one: the checker's fid/mode history is serialized, so the restored
+    // half keeps enforcing monotonicity instead of restarting from zero.
+    let (prog, seed) = small_program(19);
+    let n = 2_400;
+    let mut cfg = SimConfig::baseline(check::ALL_ARCHS[6]);
+    cfg.check = true;
+    let whole = commit_stream(cfg.clone(), &prog, seed, n, None).expect("unsplit run");
+    let split = commit_stream(cfg, &prog, seed, n, Some(n / 3)).expect("split run");
+    assert_eq!(whole, split);
+}
+
+#[test]
+fn functional_replay_is_self_consistent() {
+    // The reference itself must be deterministic and prefix-stable.
+    let (prog, seed) = small_program(23);
+    let long = functional_stream(&prog, seed, 1_000);
+    let short = functional_stream(&prog, seed, 400);
+    assert_eq!(&long[..400], &short[..]);
+    // Every target chains to the next record's pc (single-stream program).
+    for pair in long.windows(2) {
+        assert_eq!(
+            pair[0].target, pair[1].pc,
+            "functional stream does not chain: {pair:?}"
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Replays every committed fuzz repro in `tests/repros/` (see the README
+//! there): repros of fixed bugs must pass — they are the regression
+//! suite the fuzzer accumulates — and sentinel repros (injected harness
+//! bugs) must still fail, proving the differential comparison detects
+//! divergences. All replays run with invariant checking on, because
+//! `FuzzCase::to_config` always enables it.
+
+use elf_sim::core::fuzz::{run_case, FuzzCase};
+use std::path::PathBuf;
+
+fn repro_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("repros")
+}
+
+#[test]
+fn committed_repros_replay_with_their_expected_outcome() {
+    let mut replayed = 0;
+    let entries = std::fs::read_dir(repro_dir()).expect("tests/repros exists");
+    for entry in entries {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("txt") {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).expect("readable repro");
+        let case =
+            FuzzCase::from_repro(&text).unwrap_or_else(|e| panic!("{name}: unparsable repro: {e}"));
+        let outcome = run_case(&case);
+        if case.sentinel.is_some() {
+            assert!(
+                outcome.is_some(),
+                "{name}: sentinel repro passed — the harness can no longer \
+                 detect the injected bug"
+            );
+        } else {
+            assert_eq!(
+                outcome, None,
+                "{name}: fixed-bug repro fails again (regression)"
+            );
+        }
+        replayed += 1;
+    }
+    assert!(replayed > 0, "no repros found in tests/repros/");
+}
+
+#[test]
+fn sentinel_repro_fails_for_the_documented_reason() {
+    // The canonical mutation-test repro: one flipped `taken` bit in the
+    // functional reference must surface as a commit-stream divergence
+    // (not a panic, not a simulator error).
+    let text = std::fs::read_to_string(repro_dir().join("sentinel-flip-taken.txt"))
+        .expect("canonical sentinel repro exists");
+    let case = FuzzCase::from_repro(&text).expect("repro parses");
+    let what = run_case(&case).expect("sentinel repro must fail");
+    assert!(
+        what.contains("diverge") && what.contains("taken"),
+        "unexpected failure mode: {what}"
+    );
+}
